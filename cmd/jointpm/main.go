@@ -1,0 +1,124 @@
+// Command jointpm regenerates the paper's evaluation artifacts. Each
+// experiment id corresponds to one table or figure; see DESIGN.md for the
+// per-experiment index.
+//
+// Usage:
+//
+//	jointpm -exp fig7                 # full paper-scale data-set sweep
+//	jointpm -exp table4 -scale quick  # fast shape check
+//	jointpm -list                     # show available experiments
+//	jointpm -exp all -scale quick     # everything, quick scale
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"jointpm/internal/experiments"
+	"jointpm/internal/simtime"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "", "experiment id (or \"all\")")
+		scale   = flag.String("scale", "paper", "dimension preset: paper or quick")
+		horizon = flag.Float64("horizon", 0, "metered simulated seconds per run (0 = preset default)")
+		seed    = flag.Int64("seed", 1, "workload seed")
+		list    = flag.Bool("list", false, "list experiments and exit")
+		check   = flag.Bool("check", false, "evaluate the paper's shape claims after sweep experiments")
+		csvPath = flag.String("csv", "", "also export sweep experiments to CSV files under this directory")
+		seeds   = flag.Int("seeds", 0, "replicate sweep experiments over N seeds and report mean±sd")
+	)
+	flag.Parse()
+
+	if *list || *exp == "" {
+		fmt.Println("experiments:")
+		for _, e := range experiments.All() {
+			fmt.Printf("  %-9s %-14s %s\n", e.ID, e.Paper, e.Desc)
+		}
+		if *exp == "" && !*list {
+			fmt.Println("\nrun one with: jointpm -exp <id> [-scale paper|quick]")
+			os.Exit(2)
+		}
+		return
+	}
+
+	s, err := buildScale(*scale, *horizon)
+	if err != nil {
+		fatal(err)
+	}
+
+	ids := []string{*exp}
+	if *exp == "all" {
+		ids = experiments.IDs()
+	}
+	for _, id := range ids {
+		e, err := experiments.ByID(id)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("=== %s (%s) — scale %s, seed %d ===\n", e.ID, e.Paper, s.Name, *seed)
+		start := time.Now()
+		_, isSweep := experiments.Sweeps[id]
+		if isSweep && *seeds >= 2 {
+			list := make([]int64, *seeds)
+			for i := range list {
+				list[i] = *seed + int64(i)
+			}
+			if err := experiments.RunSweepReplicated(id, s, list, os.Stdout); err != nil {
+				fatal(fmt.Errorf("%s: %w", id, err))
+			}
+		} else if isSweep && (*check || *csvPath != "") {
+			var csvW io.Writer
+			if *csvPath != "" {
+				if err := os.MkdirAll(*csvPath, 0o755); err != nil {
+					fatal(err)
+				}
+				f, err := os.Create(filepath.Join(*csvPath, id+".csv"))
+				if err != nil {
+					fatal(err)
+				}
+				defer f.Close()
+				csvW = f
+			}
+			failed, err := experiments.RunSweep(id, s, *seed, os.Stdout, csvW, *check)
+			if err != nil {
+				fatal(fmt.Errorf("%s: %w", id, err))
+			}
+			if failed > 0 {
+				defer os.Exit(1)
+				fmt.Printf("\n%d claim(s) FAILED\n", failed)
+			}
+		} else if err := e.Run(s, *seed, os.Stdout); err != nil {
+			fatal(fmt.Errorf("%s: %w", id, err))
+		}
+		fmt.Printf("\n[%s completed in %v]\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+}
+
+func buildScale(name string, horizon float64) (experiments.Scale, error) {
+	h := simtime.Seconds(horizon)
+	switch name {
+	case "paper":
+		if h <= 0 {
+			h = 7200
+		}
+		return experiments.PaperScale(h), nil
+	case "quick":
+		if h <= 0 {
+			h = 1800
+		}
+		return experiments.QuickScale(h), nil
+	default:
+		return experiments.Scale{}, fmt.Errorf("unknown scale %q (want paper or quick)", name)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "jointpm:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,115 @@
+// Command pmsim replays one trace through the simulator under a chosen
+// power-management method and prints the metric row the paper's figures
+// are built from: energy split, latency, utilization, and long-latency
+// rate. Combine with tracegen to script custom studies.
+//
+// Usage:
+//
+//	pmsim -trace base.trc -method JOINT
+//	pmsim -trace base.trc -method 2TFM-16GB -mem 128GB -bank 16MB
+//	pmsim -trace base.trc -method ADPD-128GB -periods
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	"jointpm/internal/core"
+	"jointpm/internal/policy"
+	"jointpm/internal/sim"
+	"jointpm/internal/simtime"
+	"jointpm/internal/trace"
+)
+
+func main() {
+	var (
+		tracePath = flag.String("trace", "", "binary trace file (required)")
+		method    = flag.String("method", "JOINT", "method name, e.g. JOINT, ALWAYS-ON, 2TFM-16GB, ADPD-128GB")
+		memTotal  = flag.String("mem", "128GB", "installed physical memory")
+		bank      = flag.String("bank", "16MB", "memory bank size")
+		period    = flag.Float64("period", 600, "adaptation period in seconds")
+		warmup    = flag.Float64("warmup", 0, "warmup seconds excluded from metrics")
+		delayCap  = flag.Float64("delaycap", 0.001, "joint delayed-request ratio cap D")
+		periods   = flag.Bool("periods", false, "also print per-period rows")
+	)
+	flag.Parse()
+	if *tracePath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	f, err := os.Open(*tracePath)
+	if err != nil {
+		fatal(err)
+	}
+	tr, err := trace.ReadBinary(f)
+	f.Close()
+	if err != nil {
+		fatal(err)
+	}
+
+	m, err := policy.ParseName(*method)
+	if err != nil {
+		fatal(err)
+	}
+	installed, err := simtime.ParseBytes(*memTotal)
+	if err != nil {
+		fatal(err)
+	}
+	bankSize, err := simtime.ParseBytes(*bank)
+	if err != nil {
+		fatal(err)
+	}
+	if m.MemBytes == 0 {
+		m.MemBytes = installed
+	}
+
+	res, err := sim.Run(sim.Config{
+		Trace:        tr,
+		Method:       m,
+		InstalledMem: installed,
+		BankSize:     bankSize,
+		Period:       simtime.Seconds(*period),
+		Warmup:       simtime.Seconds(*warmup),
+		Joint:        &core.Params{DelayCap: *delayCap},
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("method           %s\n", m.Name())
+	fmt.Printf("duration         %v (metered)\n", res.Duration)
+	fmt.Printf("client requests  %d\n", res.ClientRequests)
+	fmt.Printf("cache accesses   %d (page refs)\n", res.CacheAccesses)
+	fmt.Printf("disk accesses    %d (page misses), %d coalesced requests\n", res.DiskAccesses, res.DiskRequests)
+	fmt.Printf("disk energy      %v (dyn %v, on %v, floor %v, transitions %v)\n",
+		res.DiskEnergy.Total(), res.DiskEnergy.Dynamic, res.DiskEnergy.StaticOn,
+		res.DiskEnergy.Floor, res.DiskEnergy.Transition)
+	fmt.Printf("memory energy    %v (static %v, dyn %v, transitions %v)\n",
+		res.MemEnergy.Total(), res.MemEnergy.Static, res.MemEnergy.Dynamic, res.MemEnergy.Transition)
+	fmt.Printf("total energy     %v (avg %.3g W)\n", res.TotalEnergy(),
+		float64(res.TotalEnergy())/float64(res.Duration))
+	fmt.Printf("mean latency     %v\n", res.MeanLatency())
+	fmt.Printf("utilization      %.2f%%\n", res.Utilization*100)
+	fmt.Printf("long latency     %d requests (%.3f/s)\n", res.Delayed, res.DelayedPerSecond())
+
+	if *periods {
+		fmt.Println("\nperiod  accesses  misses  requests  util%   meanidle  banks  timeout  delayed")
+		for i, p := range res.Periods {
+			to := "inf"
+			if !math.IsInf(float64(p.Timeout), 1) {
+				to = p.Timeout.String()
+			}
+			fmt.Printf("%6d  %8d  %6d  %8d  %5.2f  %8v  %5d  %7s  %7d\n",
+				i+1, p.CacheAccesses, p.DiskAccesses, p.DiskRequests,
+				p.Utilization*100, p.MeanIdle, p.Banks, to, p.Delayed)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pmsim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,126 @@
+// Command tracegen generates SPECWeb99-style disk-cache access traces and
+// applies the paper's synthesizer transforms, writing the result in the
+// binary or text trace format so pmsim (or external tools) can replay it.
+//
+// Usage:
+//
+//	tracegen -dataset 16GB -rate 100MB -pop 0.1 -dur 3600 -o base.trc
+//	tracegen -in base.trc -scale-dataset 4 -o big.trc
+//	tracegen -in base.trc -scale-rate 0.5 -pop-target 0.05 -o derived.trc
+//	tracegen -in base.trc -text -o dump.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"jointpm/internal/simtime"
+	"jointpm/internal/trace"
+	"jointpm/internal/workload"
+)
+
+func main() {
+	var (
+		in      = flag.String("in", "", "input trace to transform (omit to generate)")
+		out     = flag.String("o", "", "output file (default stdout)")
+		text    = flag.Bool("text", false, "write the text format instead of binary")
+		dataset = flag.String("dataset", "16GB", "data-set size (generate)")
+		page    = flag.String("page", "64KB", "page size (generate)")
+		rate    = flag.String("rate", "100MB", "offered byte rate per second (generate)")
+		pop     = flag.Float64("pop", 0.1, "popularity: fraction of bytes receiving 90% of accesses (generate)")
+		dur     = flag.Float64("dur", 3600, "trace duration in seconds (generate)")
+		fscale  = flag.Int64("filescale", 16, "SPECWeb99 file-size class multiplier (generate)")
+		seed    = flag.Int64("seed", 1, "random seed")
+
+		scaleDS   = flag.Int("scale-dataset", 0, "enlarge data set by a power-of-two factor")
+		scaleRate = flag.Float64("scale-rate", 0, "multiply the byte rate")
+		popTarget = flag.Float64("pop-target", 0, "retarget popularity density")
+		stats     = flag.Bool("stats", false, "print a full workload summary to stderr")
+	)
+	flag.Parse()
+
+	tr, err := load(*in, *dataset, *page, *rate, *pop, *dur, *fscale, *seed)
+	if err != nil {
+		fatal(err)
+	}
+
+	synth := workload.NewSynthesizer(*seed + 1000)
+	if *scaleDS > 0 {
+		if tr, err = synth.ScaleDataSet(tr, *scaleDS); err != nil {
+			fatal(err)
+		}
+	}
+	if *scaleRate > 0 {
+		if tr, err = synth.ScaleRate(tr, *scaleRate); err != nil {
+			fatal(err)
+		}
+	}
+	if *popTarget > 0 {
+		if tr, err = synth.SetPopularity(tr, *popTarget); err != nil {
+			fatal(err)
+		}
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if *text {
+		err = trace.WriteText(w, tr)
+	} else {
+		err = trace.WriteBinary(w, tr)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	if *stats {
+		fmt.Fprintln(os.Stderr, workload.Analyze(tr))
+	} else {
+		fmt.Fprintf(os.Stderr, "tracegen: %d requests, %s data set, %.1f s, mean rate %.3g MB/s, popularity %.3f\n",
+			len(tr.Requests), tr.DataSetBytes, float64(tr.Duration),
+			tr.MeanRate()/float64(simtime.MB), workload.PopularityOf(tr))
+	}
+}
+
+func load(in, dataset, page, rate string, pop, dur float64, fscale, seed int64) (*trace.Trace, error) {
+	if in != "" {
+		f, err := os.Open(in)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return trace.ReadBinary(f)
+	}
+	ds, err := simtime.ParseBytes(dataset)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: %w", err)
+	}
+	ps, err := simtime.ParseBytes(page)
+	if err != nil {
+		return nil, fmt.Errorf("page: %w", err)
+	}
+	rt, err := simtime.ParseBytes(rate)
+	if err != nil {
+		return nil, fmt.Errorf("rate: %w", err)
+	}
+	return workload.Generate(workload.Config{
+		DataSetBytes: ds,
+		PageSize:     ps,
+		Rate:         float64(rt),
+		Popularity:   pop,
+		Duration:     simtime.Seconds(dur),
+		Classes:      workload.SPECWeb99Classes(fscale),
+		Seed:         seed,
+	})
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tracegen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,118 @@
+package jointpm_test
+
+import (
+	"fmt"
+
+	"jointpm"
+)
+
+// ExampleParseMethod shows the paper's method naming scheme.
+func ExampleParseMethod() {
+	for _, name := range []string{"2TFM-8GB", "ADPD-128GB", "JOINT"} {
+		m, err := jointpm.ParseMethod(name)
+		if err != nil {
+			fmt.Println(err)
+			continue
+		}
+		fmt.Println(m.Name())
+	}
+	// Output:
+	// 2TFM-8GB
+	// ADPD-128GB
+	// JOINT
+}
+
+// ExampleBarracuda derives the paper's disk constants.
+func ExampleBarracuda() {
+	spec := jointpm.Barracuda()
+	fmt.Printf("static power p_d = %v\n", spec.StaticPower())
+	fmt.Printf("break-even t_be = %.1fs\n", float64(spec.BreakEven()))
+	// Output:
+	// static power p_d = 6.6W
+	// break-even t_be = 11.7s
+}
+
+// ExampleNewStackSim reproduces the paper's Fig. 3 walkthrough: the
+// extended LRU list reporting stack depths for the access sequence
+// (1, 2, 3, 5, 2, 1, 4, 6, 5, 2).
+func ExampleNewStackSim() {
+	s := jointpm.NewStackSim(8)
+	for _, page := range []int64{1, 2, 3, 5, 2, 1, 4, 6, 5, 2} {
+		d := s.Reference(page)
+		if d == jointpm.ColdDepth {
+			fmt.Print("cold ")
+		} else {
+			fmt.Printf("%d ", d)
+		}
+	}
+	fmt.Println()
+	// Output:
+	// cold cold cold cold 3 4 cold cold 5 5
+}
+
+// ExampleNewMissCurve predicts disk accesses at different memory sizes
+// from the same sequence (paper Section IV-B: 9 misses at 3 pages, 8 at
+// 4, 6 at 5, no improvement beyond).
+func ExampleNewMissCurve() {
+	s := jointpm.NewStackSim(8)
+	c := jointpm.NewMissCurve(1)
+	for _, page := range []int64{1, 2, 3, 5, 2, 1, 4, 6, 5, 2} {
+		c.Add(s.Reference(page))
+	}
+	for _, pages := range []int64{3, 4, 5, 8} {
+		fmt.Printf("misses(%d pages) = %d\n", pages, c.Misses(pages))
+	}
+	// Output:
+	// misses(3 pages) = 9
+	// misses(4 pages) = 8
+	// misses(5 pages) = 6
+	// misses(8 pages) = 6
+}
+
+// ExampleFitPareto estimates the idle-interval model the way the paper's
+// runtime does and derives the optimal timeout t_o = α·t_be.
+func ExampleFitPareto() {
+	d := jointpm.ParetoDist{Alpha: 2.0, Beta: 3.0}
+	fmt.Printf("mean = %.1f\n", d.Mean())
+	fmt.Printf("P(idle > 12s) = %.4f\n", d.Tail(12))
+	to := d.Alpha * float64(jointpm.Barracuda().BreakEven())
+	fmt.Printf("t_o = %.1fs\n", to)
+	// Output:
+	// mean = 6.0
+	// P(idle > 12s) = 0.0625
+	// t_o = 23.5s
+}
+
+// ExampleRun executes a complete (tiny) simulation with the joint method.
+func ExampleRun() {
+	tr, err := jointpm.GenerateWorkload(jointpm.WorkloadConfig{
+		DataSetBytes: 8 * jointpm.MB,
+		PageSize:     16 * jointpm.KB,
+		Rate:         64 * float64(jointpm.KB),
+		Popularity:   0.1,
+		Duration:     10 * jointpm.Minute,
+		Seed:         1,
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	res, err := jointpm.Run(jointpm.SimConfig{
+		Trace:        tr,
+		Method:       jointpm.JointMethod(64 * jointpm.MB),
+		InstalledMem: 64 * jointpm.MB,
+		BankSize:     jointpm.MB,
+		Period:       2 * jointpm.Minute,
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("periods simulated: %d\n", len(res.Periods))
+	fmt.Printf("every access metered: %t\n", res.CacheAccesses > 0 && res.DiskAccesses <= res.CacheAccesses)
+	fmt.Printf("energy accounted: %t\n", res.TotalEnergy() > 0)
+	// Output:
+	// periods simulated: 5
+	// every access metered: true
+	// energy accounted: true
+}

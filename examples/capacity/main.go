@@ -1,0 +1,77 @@
+// Capacity: use the prediction substrate standalone — feed a reference
+// stream through the extended LRU list, build the miss curve, and locate
+// the paper's "break-even memory size": the point beyond which adding
+// memory costs more static power than it saves from the disk. This is
+// the Section IV-B machinery without the simulator around it.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"jointpm"
+)
+
+func main() {
+	const (
+		pageSize  = 16 * jointpm.KB
+		bank      = jointpm.MB
+		bankPages = int(bank / pageSize)
+	)
+	tr, err := jointpm.GenerateWorkload(jointpm.WorkloadConfig{
+		DataSetBytes: 128 * jointpm.MB,
+		PageSize:     pageSize,
+		Rate:         400 * float64(jointpm.KB),
+		Popularity:   0.1,
+		Duration:     jointpm.Hour,
+		Seed:         11,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Replay the trace's page references through the extended LRU list.
+	stack := jointpm.NewStackSim(1 << 20)
+	curve := jointpm.NewMissCurve(bankPages)
+	for _, r := range tr.Requests {
+		for k := int32(0); k < r.Pages; k++ {
+			curve.Add(stack.Reference(r.FirstPage + int64(k)))
+		}
+	}
+	fmt.Printf("replayed %d references (%d compulsory)\n\n", curve.Total(), curve.Colds())
+
+	// Energy trade-off per candidate size: memory nap power versus the
+	// disk static power its miss reduction can save. The paper's
+	// break-even memory size is where the marginal saving turns negative.
+	dspec := jointpm.Barracuda()
+	mspec := jointpm.RDRAM(bank)
+	mspec.NapPowerPerMB *= 256 // preserve the paper's memory:disk ratio at this scale
+
+	duration := float64(tr.Duration)
+	missSeconds := func(misses int64) float64 {
+		// Busy seconds those misses cost, at page-sized requests.
+		return float64(misses) * float64(dspec.ServiceTime(pageSize))
+	}
+
+	fmt.Println("memory   misses     miss-rate/s  mem power   disk dyn power")
+	bestBanks, bestPower := 0, 0.0
+	maxUseful := curve.MaxUsefulPages()
+	for b := 1; int64(b)*int64(bankPages) <= maxUseful+int64(bankPages); b++ {
+		pages := int64(b) * int64(bankPages)
+		misses := curve.Misses(pages)
+		memPower := float64(mspec.NapPower()) * float64(b)
+		diskPower := missSeconds(misses) / duration * float64(dspec.DynamicPower())
+		total := memPower + diskPower
+		if bestBanks == 0 || total < bestPower {
+			bestBanks, bestPower = b, total
+		}
+		if b%4 == 0 || b == 1 {
+			fmt.Printf("%-8v %-10d %-12.2f %-11.3f %.3f\n",
+				jointpm.Bytes(b)*bank, misses, float64(misses)/duration, memPower, diskPower)
+		}
+	}
+	fmt.Printf("\nbreak-even memory size: %v (%d banks, %.3f W combined)\n",
+		jointpm.Bytes(bestBanks)*bank, bestBanks, bestPower)
+	fmt.Printf("deepest useful size (no misses removed beyond): %v\n",
+		jointpm.Bytes(maxUseful)*pageSize)
+}

@@ -1,0 +1,72 @@
+// Quickstart: generate a web-server workload, run the joint power manager
+// against the always-on baseline, and print the energy and performance
+// summary. This is the smallest end-to-end use of the public API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"jointpm"
+)
+
+func main() {
+	// A 64 MB data set served at 128 KB/s for an hour — scaled down from
+	// the paper's dimensions so the example finishes instantly. 10% of
+	// the files receive 90% of the requests; the modest rate leaves the
+	// disk idle gaps the power manager exploits.
+	tr, err := jointpm.GenerateWorkload(jointpm.WorkloadConfig{
+		DataSetBytes: 64 * jointpm.MB,
+		PageSize:     64 * jointpm.KB,
+		Rate:         128 * float64(jointpm.KB),
+		Popularity:   0.1,
+		Duration:     jointpm.Hour,
+		Seed:         1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("workload: %d requests over %v, %s data set\n",
+		len(tr.Requests), tr.Duration, tr.DataSetBytes)
+
+	// Memory nap power scaled up so the 128 MB of this toy plays the role
+	// of the paper's 128 GB relative to the disk (see DESIGN.md).
+	memSpec := jointpm.RDRAM(jointpm.MB)
+	memSpec.NapPowerPerMB *= 1024
+
+	run := func(m jointpm.Method) *jointpm.SimResult {
+		res, err := jointpm.Run(jointpm.SimConfig{
+			Trace:        tr,
+			Method:       m,
+			InstalledMem: 128 * jointpm.MB,
+			BankSize:     jointpm.MB,
+			MemSpec:      memSpec,
+			Period:       5 * jointpm.Minute,
+			// The paper's delay cap assumes millions of accesses per
+			// period; at this toy scale allow 2% so spin-down is usable.
+			Joint: &jointpm.JointParams{DelayCap: 0.02},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return res
+	}
+
+	baseline := run(jointpm.AlwaysOnMethod(128 * jointpm.MB))
+	joint := run(jointpm.JointMethod(128 * jointpm.MB))
+
+	fmt.Printf("\n%-10s %12s %12s %10s %12s\n", "method", "total energy", "disk energy", "latency", "long-lat/s")
+	for _, r := range []*jointpm.SimResult{baseline, joint} {
+		fmt.Printf("%-10s %12v %12v %10v %12.3f\n",
+			r.Method.Name(), r.TotalEnergy(), r.DiskEnergy.Total(),
+			r.MeanLatency(), r.DelayedPerSecond())
+	}
+	saved := 100 * (1 - float64(joint.TotalEnergy())/float64(baseline.TotalEnergy()))
+	fmt.Printf("\njoint method saves %.1f%% of the always-on energy\n", saved)
+
+	// Peek at what the manager decided over time.
+	fmt.Println("\nperiod  enabled-banks  disk-timeout")
+	for i, p := range joint.Periods {
+		fmt.Printf("%6d  %13d  %12v\n", i+1, p.Banks, p.Timeout)
+	}
+}

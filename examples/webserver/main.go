@@ -1,0 +1,88 @@
+// Webserver: the scenario from the paper's introduction — a single-disk
+// web server whose data set grows over time. For each data-set size the
+// example compares the joint method against representative fixed
+// configurations (small memory, oversized memory, power-down), showing
+// the crossover the paper's Fig. 7 documents: small fixed memory thrashes
+// the disk on big data sets, oversized memory wastes static power on
+// small ones, and the joint method tracks the sweet spot.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"jointpm"
+)
+
+func main() {
+	const (
+		installed = 512 * jointpm.MB
+		bank      = jointpm.MB
+		pageSize  = 16 * jointpm.KB
+	)
+	// Memory power scaled so the installed memory's nap power relates to
+	// the disk's static power as in the paper (see DESIGN.md).
+	memSpec := jointpm.RDRAM(bank)
+	memSpec.NapPowerPerMB *= 256
+	memSpec.DynamicPerMB *= 256
+
+	methods := []jointpm.Method{
+		jointpm.AlwaysOnMethod(installed),
+		mustMethod("2TFM-32MB"),  // plays the paper's 8 GB
+		mustMethod("2TFM-512MB"), // plays the paper's 128 GB
+		mustMethod("2TPD-512MB"),
+		jointpm.JointMethod(installed),
+	}
+
+	fmt.Println("data-set growth study (sizes play the paper's 4..64 GB)")
+	for _, ds := range []jointpm.Bytes{16 * jointpm.MB, 64 * jointpm.MB, 256 * jointpm.MB} {
+		tr, err := jointpm.GenerateWorkload(jointpm.WorkloadConfig{
+			DataSetBytes: ds,
+			PageSize:     pageSize,
+			Rate:         400 * float64(jointpm.KB), // plays 100 MB/s
+			Popularity:   0.1,
+			Duration:     2 * jointpm.Hour,
+			Seed:         7,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		fmt.Printf("\ndata set %v:\n", ds)
+		fmt.Printf("  %-12s %14s %10s %8s %12s\n", "method", "total energy", "disk util", "latency", "long-lat/s")
+		var baseline jointpm.Joules
+		for _, m := range methods {
+			if m.MemBytes == 0 {
+				m.MemBytes = installed
+			}
+			res, err := jointpm.Run(jointpm.SimConfig{
+				Trace:        tr,
+				Method:       m,
+				InstalledMem: installed,
+				BankSize:     bank,
+				MemSpec:      memSpec,
+				Period:       5 * jointpm.Minute,
+				Warmup:       10 * jointpm.Minute,
+				Joint:        &jointpm.JointParams{DelayCap: 0.01},
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			if baseline == 0 {
+				baseline = res.TotalEnergy()
+			}
+			fmt.Printf("  %-12s %7.1f%% of on %9.2f%% %8v %12.3f\n",
+				m.Name(),
+				100*float64(res.TotalEnergy())/float64(baseline),
+				res.Utilization*100, res.MeanLatency(), res.DelayedPerSecond())
+		}
+	}
+}
+
+func mustMethod(name string) jointpm.Method {
+	m, err := jointpm.ParseMethod(name)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return m
+}

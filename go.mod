@@ -1,0 +1,3 @@
+module jointpm
+
+go 1.22

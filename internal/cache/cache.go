@@ -1,0 +1,241 @@
+// Package cache simulates the operating system's disk cache (page cache):
+// an LRU-managed set of page frames in front of the disk, the component
+// labelled "disk cache" in Fig. 6 of the paper. It supports the three
+// operations the power-management policies need beyond plain lookup:
+//
+//   - live resizing (the joint method changes the cache capacity every
+//     period; shrinking evicts the LRU tail, preserving the inclusion
+//     property the stack-based predictor relies on);
+//   - bank-granularity invalidation (the "timeout disable" memory policy
+//     turns off idle banks, losing their contents);
+//   - frame→bank mapping so the memory power model can meter per-bank
+//     idleness.
+//
+// Frames are allocated lowest-first so occupancy stays packed into
+// low-numbered banks, which keeps "enabled banks = ceil(capacity/bank)"
+// an accurate power accounting for resizing policies.
+package cache
+
+import "container/heap"
+
+// entry is one resident page, a node in the intrusive LRU list.
+type entry struct {
+	page       int64
+	frame      int64
+	prev, next *entry
+}
+
+// PageCache is a frame-based LRU page cache.
+type PageCache struct {
+	totalFrames  int64
+	capacity     int64 // usable frames (≤ totalFrames)
+	pagesPerBank int64
+
+	entries map[int64]*entry // page -> entry
+	byFrame []*entry         // frame -> entry (nil when free)
+	free    frameHeap        // free frame indices, min-heap
+	head    *entry           // MRU
+	tail    *entry           // LRU
+	count   int64
+}
+
+// New creates a cache with totalFrames frames grouped into banks of
+// pagesPerBank frames. The initial capacity is all frames.
+func New(totalFrames, pagesPerBank int64) *PageCache {
+	if totalFrames <= 0 || pagesPerBank <= 0 {
+		panic("cache: sizes must be positive")
+	}
+	c := &PageCache{
+		totalFrames:  totalFrames,
+		capacity:     totalFrames,
+		pagesPerBank: pagesPerBank,
+		entries:      make(map[int64]*entry),
+		byFrame:      make([]*entry, totalFrames),
+		free:         make(frameHeap, 0, totalFrames),
+	}
+	for f := int64(0); f < totalFrames; f++ {
+		c.free = append(c.free, f)
+	}
+	heap.Init(&c.free)
+	return c
+}
+
+// Len returns the number of resident pages.
+func (c *PageCache) Len() int64 { return c.count }
+
+// Capacity returns the current usable frame count.
+func (c *PageCache) Capacity() int64 { return c.capacity }
+
+// TotalFrames returns the installed frame count.
+func (c *PageCache) TotalFrames() int64 { return c.totalFrames }
+
+// PagesPerBank returns the bank granularity in frames.
+func (c *PageCache) PagesPerBank() int64 { return c.pagesPerBank }
+
+// Banks returns the number of banks covering all installed frames.
+func (c *PageCache) Banks() int {
+	return int((c.totalFrames + c.pagesPerBank - 1) / c.pagesPerBank)
+}
+
+// BankOf returns the bank containing the given frame.
+func (c *PageCache) BankOf(frame int64) int { return int(frame / c.pagesPerBank) }
+
+// Lookup reports whether page is resident. On a hit the page becomes MRU
+// and its frame is returned.
+func (c *PageCache) Lookup(page int64) (frame int64, hit bool) {
+	e, ok := c.entries[page]
+	if !ok {
+		return 0, false
+	}
+	c.moveToFront(e)
+	return e.frame, true
+}
+
+// Peek reports residency and the frame without touching LRU order.
+func (c *PageCache) Peek(page int64) (frame int64, hit bool) {
+	e, ok := c.entries[page]
+	if !ok {
+		return 0, false
+	}
+	return e.frame, true
+}
+
+// Insert makes page resident (it must not already be resident), evicting
+// the LRU page if the cache is full. It returns the frame assigned and
+// the evicted page (or -1 if none).
+func (c *PageCache) Insert(page int64) (frame int64, evicted int64) {
+	if _, ok := c.entries[page]; ok {
+		panic("cache: Insert of resident page")
+	}
+	evicted = -1
+	if c.count >= c.capacity {
+		evicted = c.evictLRU()
+	}
+	f := heap.Pop(&c.free).(int64)
+	e := &entry{page: page, frame: f}
+	c.entries[page] = e
+	c.byFrame[f] = e
+	c.pushFront(e)
+	c.count++
+	return f, evicted
+}
+
+// Resize sets the usable capacity in frames, clamped to the installed
+// total. Shrinking evicts LRU pages until the count fits; growth takes
+// effect immediately. Returns the number of pages evicted.
+func (c *PageCache) Resize(frames int64) int64 {
+	if frames < 1 {
+		frames = 1
+	}
+	if frames > c.totalFrames {
+		frames = c.totalFrames
+	}
+	c.capacity = frames
+	var n int64
+	for c.count > c.capacity {
+		c.evictLRU()
+		n++
+	}
+	return n
+}
+
+// InvalidateBank removes every resident page whose frame lies in the
+// given bank, returning how many pages were dropped. Used by the
+// timeout-disable memory policy, where a bank losing power loses data.
+func (c *PageCache) InvalidateBank(bank int) int64 {
+	lo := int64(bank) * c.pagesPerBank
+	hi := lo + c.pagesPerBank
+	if hi > c.totalFrames {
+		hi = c.totalFrames
+	}
+	var n int64
+	for f := lo; f < hi; f++ {
+		if e := c.byFrame[f]; e != nil {
+			c.remove(e)
+			n++
+		}
+	}
+	return n
+}
+
+// BankOccupancy returns the number of resident pages in the given bank.
+func (c *PageCache) BankOccupancy(bank int) int64 {
+	lo := int64(bank) * c.pagesPerBank
+	hi := lo + c.pagesPerBank
+	if hi > c.totalFrames {
+		hi = c.totalFrames
+	}
+	var n int64
+	for f := lo; f < hi; f++ {
+		if c.byFrame[f] != nil {
+			n++
+		}
+	}
+	return n
+}
+
+func (c *PageCache) evictLRU() int64 {
+	e := c.tail
+	if e == nil {
+		return -1
+	}
+	c.remove(e)
+	return e.page
+}
+
+func (c *PageCache) remove(e *entry) {
+	c.unlink(e)
+	delete(c.entries, e.page)
+	c.byFrame[e.frame] = nil
+	heap.Push(&c.free, e.frame)
+	c.count--
+}
+
+func (c *PageCache) pushFront(e *entry) {
+	e.prev = nil
+	e.next = c.head
+	if c.head != nil {
+		c.head.prev = e
+	}
+	c.head = e
+	if c.tail == nil {
+		c.tail = e
+	}
+}
+
+func (c *PageCache) unlink(e *entry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		c.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		c.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+func (c *PageCache) moveToFront(e *entry) {
+	if c.head == e {
+		return
+	}
+	c.unlink(e)
+	c.pushFront(e)
+}
+
+// frameHeap is a min-heap of free frame indices.
+type frameHeap []int64
+
+func (h frameHeap) Len() int            { return len(h) }
+func (h frameHeap) Less(i, j int) bool  { return h[i] < h[j] }
+func (h frameHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *frameHeap) Push(x interface{}) { *h = append(*h, x.(int64)) }
+func (h *frameHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}

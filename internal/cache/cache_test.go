@@ -1,0 +1,238 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestLookupInsertEvict(t *testing.T) {
+	c := New(2, 1)
+	if _, hit := c.Lookup(10); hit {
+		t.Fatal("hit in empty cache")
+	}
+	c.Insert(10)
+	c.Insert(11)
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+	if _, hit := c.Lookup(10); !hit {
+		t.Fatal("miss on resident page")
+	}
+	// 10 is now MRU; inserting 12 evicts 11.
+	if _, ev := c.Insert(12); ev != 11 {
+		t.Fatalf("evicted %d, want 11", ev)
+	}
+	if _, hit := c.Lookup(11); hit {
+		t.Fatal("evicted page still resident")
+	}
+	if _, hit := c.Lookup(10); !hit {
+		t.Fatal("MRU page evicted")
+	}
+}
+
+func TestInsertPanicsOnResident(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	c := New(4, 1)
+	c.Insert(1)
+	c.Insert(1)
+}
+
+func TestLowestFrameFirst(t *testing.T) {
+	c := New(8, 2)
+	f0, _ := c.Insert(100)
+	f1, _ := c.Insert(101)
+	if f0 != 0 || f1 != 1 {
+		t.Fatalf("frames %d,%d; want 0,1", f0, f1)
+	}
+	if c.BankOf(f0) != 0 || c.BankOf(3) != 1 {
+		t.Error("bank mapping wrong")
+	}
+}
+
+func TestResizeShrinkEvictsLRUTail(t *testing.T) {
+	c := New(8, 2)
+	for p := int64(0); p < 8; p++ {
+		c.Insert(p)
+	}
+	c.Lookup(0) // 0 becomes MRU
+	n := c.Resize(3)
+	if n != 5 || c.Len() != 3 {
+		t.Fatalf("evicted %d, len %d", n, c.Len())
+	}
+	// Survivors: most recent three references = 0, 7, 6.
+	for _, p := range []int64{0, 7, 6} {
+		if _, hit := c.Peek(p); !hit {
+			t.Errorf("page %d should survive", p)
+		}
+	}
+	for _, p := range []int64{1, 2, 3, 4, 5} {
+		if _, hit := c.Peek(p); hit {
+			t.Errorf("page %d should be evicted", p)
+		}
+	}
+}
+
+func TestResizeGrow(t *testing.T) {
+	c := New(8, 2)
+	c.Resize(2)
+	c.Insert(1)
+	c.Insert(2)
+	if _, ev := c.Insert(3); ev != 1 {
+		t.Fatalf("evicted %d, want 1", ev)
+	}
+	c.Resize(4)
+	if _, ev := c.Insert(4); ev != -1 {
+		t.Fatal("grow did not add room")
+	}
+	if c.Len() != 3 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+}
+
+func TestResizeClamps(t *testing.T) {
+	c := New(8, 2)
+	c.Resize(0)
+	if c.Capacity() != 1 {
+		t.Errorf("capacity floor = %d, want 1", c.Capacity())
+	}
+	c.Resize(100)
+	if c.Capacity() != 8 {
+		t.Errorf("capacity ceiling = %d, want 8", c.Capacity())
+	}
+}
+
+func TestInvalidateBank(t *testing.T) {
+	c := New(8, 2) // 4 banks of 2 frames
+	for p := int64(0); p < 6; p++ {
+		c.Insert(p) // frames 0..5, banks 0..2
+	}
+	n := c.InvalidateBank(1) // frames 2,3 → pages 2,3
+	if n != 2 {
+		t.Fatalf("invalidated %d, want 2", n)
+	}
+	for _, p := range []int64{2, 3} {
+		if _, hit := c.Peek(p); hit {
+			t.Errorf("page %d survived invalidation", p)
+		}
+	}
+	if c.Len() != 4 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+	// Freed frames are reused (lowest-first).
+	f, _ := c.Insert(50)
+	if f != 2 {
+		t.Errorf("reused frame %d, want 2", f)
+	}
+	if got := c.BankOccupancy(1); got != 1 {
+		t.Errorf("bank 1 occupancy = %d", got)
+	}
+}
+
+func TestBankOccupancyAndBanks(t *testing.T) {
+	c := New(7, 2) // last bank is a partial bank
+	if c.Banks() != 4 {
+		t.Fatalf("Banks = %d, want 4", c.Banks())
+	}
+	for p := int64(0); p < 7; p++ {
+		c.Insert(p)
+	}
+	if got := c.BankOccupancy(3); got != 1 {
+		t.Errorf("partial bank occupancy = %d, want 1", got)
+	}
+	if got := c.InvalidateBank(3); got != 1 {
+		t.Errorf("partial bank invalidation = %d, want 1", got)
+	}
+}
+
+func TestPeekDoesNotTouch(t *testing.T) {
+	c := New(2, 1)
+	c.Insert(1)
+	c.Insert(2)
+	c.Peek(1) // must NOT move 1 to MRU
+	if _, ev := c.Insert(3); ev != 1 {
+		t.Errorf("evicted %d; Peek must not refresh LRU position", ev)
+	}
+}
+
+// Property: the cache's resident set always equals the top-capacity pages
+// of a reference LRU model, under random lookups, inserts and resizes
+// (without bank invalidation, which deliberately breaks strict LRU).
+func TestQuickMatchesLRUModel(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		const frames = 32
+		c := New(frames, 4)
+		var model []int64 // MRU first
+		capacity := int64(frames)
+		touch := func(p int64) {
+			for i, q := range model {
+				if q == p {
+					copy(model[1:i+1], model[:i])
+					model[0] = p
+					return
+				}
+			}
+			model = append(model, 0)
+			copy(model[1:], model)
+			model[0] = p
+			if int64(len(model)) > capacity {
+				model = model[:capacity]
+			}
+		}
+		for op := 0; op < 1500; op++ {
+			switch rng.Intn(10) {
+			case 0:
+				capacity = int64(1 + rng.Intn(frames))
+				c.Resize(capacity)
+				if int64(len(model)) > capacity {
+					model = model[:capacity]
+				}
+			default:
+				p := int64(rng.Intn(48))
+				_, hit := c.Lookup(p)
+				modelHit := false
+				for _, q := range model {
+					if q == p {
+						modelHit = true
+						break
+					}
+				}
+				if hit != modelHit {
+					return false
+				}
+				if !hit {
+					c.Insert(p)
+				}
+				touch(p)
+			}
+			if c.Len() != int64(len(model)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPanicsOnBadSizes(t *testing.T) {
+	for _, f := range []func(){
+		func() { New(0, 1) },
+		func() { New(4, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}

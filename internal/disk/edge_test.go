@@ -1,0 +1,157 @@
+package disk
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"jointpm/internal/qmodel"
+	"jointpm/internal/simtime"
+)
+
+func TestRequestAtExactExpiry(t *testing.T) {
+	spec := Barracuda()
+	d := New(spec, 0.5)
+	d.SetTimeout(0, 10)
+	d.Submit(0, simtime.MB)
+	service := spec.ServiceTime(simtime.MB)
+	// The next request arrives exactly when the timeout expires: the
+	// spin-down materialises first (advance processes expiry ≤ t), so the
+	// request pays the spin-up.
+	arrival := service + 10
+	_, lat := d.Submit(arrival, simtime.MB)
+	if lat < spec.SpinUpTime {
+		t.Errorf("latency %v did not include spin-up at exact expiry", lat)
+	}
+	if d.Stats().SpinDowns != 1 {
+		t.Errorf("spin-downs = %d", d.Stats().SpinDowns)
+	}
+}
+
+func TestZeroTimeoutSpinsDownImmediately(t *testing.T) {
+	d := New(Barracuda(), 0.5)
+	d.Submit(0, simtime.MB)
+	d.SetTimeout(d.Now(), 0)
+	if d.State() != StateStandby {
+		t.Fatal("zero timeout did not spin down at once")
+	}
+}
+
+func TestBackToBackRequestsNoIdleEvents(t *testing.T) {
+	d := New(Barracuda(), 0.5)
+	// Ten requests at the same arrival time: a queue, no idle gaps.
+	for i := 0; i < 10; i++ {
+		d.Submit(5, simtime.MB)
+	}
+	if got := d.Stats().IdleCount; got != 1 {
+		// Exactly one: the initial 0→5 s gap.
+		t.Errorf("idle intervals = %d, want 1", got)
+	}
+}
+
+func TestZeroSizeRequest(t *testing.T) {
+	spec := Barracuda()
+	d := New(spec, 0.5)
+	finish, lat := d.Submit(1, 0)
+	want := spec.SeekTime + spec.RotationalLatency
+	if !almost(float64(lat), float64(want), 1e-12) {
+		t.Errorf("zero-size latency %v, want mechanical overhead %v", lat, want)
+	}
+	if !almost(float64(finish), 1+float64(want), 1e-12) {
+		t.Errorf("finish = %v", finish)
+	}
+}
+
+func TestFinishToIsMonotone(t *testing.T) {
+	d := New(Barracuda(), 0.5)
+	d.Submit(0, simtime.MB)
+	d.FinishTo(100)
+	e1 := d.Energy().Total()
+	d.FinishTo(50) // moving backwards must be a no-op
+	if d.Energy().Total() != e1 {
+		t.Error("FinishTo went backwards")
+	}
+	d.FinishTo(100)
+	if d.Energy().Total() != e1 {
+		t.Error("repeated FinishTo accumulated energy")
+	}
+}
+
+func TestOracleGapEnergy(t *testing.T) {
+	spec := Barracuda()
+	tbe := spec.BreakEven()
+	// Short gap: cheaper to stay on.
+	short := spec.OracleGapEnergy(tbe / 2)
+	if want := simtime.Energy(spec.StaticPower(), tbe/2); short != want {
+		t.Errorf("short gap = %v, want %v", short, want)
+	}
+	// Long gap: capped at the transition energy.
+	long := spec.OracleGapEnergy(1000)
+	if long != spec.TransitionEnergy {
+		t.Errorf("long gap = %v, want %v", long, spec.TransitionEnergy)
+	}
+	// At exactly the break-even time both choices cost the same.
+	atBE := spec.OracleGapEnergy(tbe)
+	if diff := float64(atBE - spec.TransitionEnergy); diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("break-even gap = %v, want %v", atBE, spec.TransitionEnergy)
+	}
+	if spec.OracleGapEnergy(-5) != 0 {
+		t.Error("negative gap should cost nothing")
+	}
+}
+
+// TestOracleLowerBoundsTimeout: across a spread of timeout policies, the
+// oracle's per-gap cost never exceeds what the timeout policy actually
+// paid over the same horizon.
+func TestOracleLowerBoundsTimeout(t *testing.T) {
+	spec := Barracuda()
+	gaps := []simtime.Seconds{1, 5, 11, 13, 30, 100, 3, 400, 8, 60}
+	for _, timeout := range []simtime.Seconds{5, 11.7, 20, 60} {
+		d := New(spec, 0.5)
+		d.SetTimeout(0, timeout)
+		now := simtime.Seconds(0)
+		var oracle simtime.Joules
+		for _, g := range gaps {
+			now += g
+			d.Submit(now, simtime.MB)
+			now = d.Now()
+			oracle += spec.OracleGapEnergy(g)
+		}
+		e := d.Energy()
+		actualPM := e.StaticOn + e.Transition -
+			simtime.Energy(spec.StaticPower(), d.Stats().BusyTime)
+		if float64(oracle) > float64(actualPM)+1e-6 {
+			t.Errorf("timeout %v: oracle %v above actual PM cost %v", timeout, oracle, actualPM)
+		}
+	}
+}
+
+// TestQueueMatchesMD1 cross-validates the disk's FCFS queue against
+// queueing theory: Poisson arrivals with deterministic service must wait
+// per the M/D/1 (Pollaczek–Khinchine) formula.
+func TestQueueMatchesMD1(t *testing.T) {
+	spec := Barracuda()
+	size := 2 * simtime.MB
+	es := float64(spec.ServiceTime(size))
+	rho := 0.6
+	lambda := rho / es
+
+	d := New(spec, 1e9) // no long-latency counting noise
+	rng := rand.New(rand.NewSource(15))
+	clock := 0.0
+	var totalWait float64
+	const n = 200000
+	for i := 0; i < n; i++ {
+		clock += rng.ExpFloat64() / lambda
+		_, lat := d.Submit(simtime.Seconds(clock), size)
+		totalWait += float64(lat) - es
+	}
+	measured := totalWait / n
+	want, err := qmodel.MG1WaitSCV(lambda, es, 0) // deterministic service
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(measured-want)/want > 0.05 {
+		t.Errorf("measured wait %gs vs M/D/1 %gs", measured, want)
+	}
+}

@@ -1,0 +1,131 @@
+package disk
+
+import (
+	"math"
+
+	"jointpm/internal/simtime"
+)
+
+// Zone is one radial band of the platter with its own media rate. Real
+// drives record more bits per track on the outer (low-LBA) zones, so
+// transfer rates fall toward the inner tracks — one of the two effects
+// DiskSim models that the flat Spec averages away (the other being the
+// seek-distance curve below).
+type Zone struct {
+	// EndFrac is the zone's end as a fraction of the capacity; zones are
+	// listed in LBA order and the last must end at 1.
+	EndFrac      float64
+	TransferRate float64 // bytes/second within the zone
+}
+
+// SeekCurve models seek time as a function of seek distance: the classic
+// square-root curve between a track-to-track minimum and a full-stroke
+// maximum. A zero SeekCurve means "use Spec.SeekTime for every request".
+type SeekCurve struct {
+	Min, Max simtime.Seconds
+}
+
+// Time returns the seek time for a seek spanning distFrac of the
+// platter (0..1).
+func (c SeekCurve) Time(distFrac float64) simtime.Seconds {
+	if c.Max <= 0 {
+		return 0
+	}
+	if distFrac < 0 {
+		distFrac = 0
+	}
+	if distFrac > 1 {
+		distFrac = 1
+	}
+	if distFrac == 0 {
+		return 0 // same track: settle time only, folded into Min below
+	}
+	return c.Min + (c.Max-c.Min)*simtime.Seconds(math.Sqrt(distFrac))
+}
+
+// ZonedSpec extends Spec with capacity, zones, and a seek curve, the
+// pieces needed for location-dependent service times.
+type ZonedSpec struct {
+	Spec
+	Capacity simtime.Bytes
+	Zones    []Zone
+	Seek     SeekCurve
+}
+
+// BarracudaZoned returns the Barracuda model with a three-zone media-rate
+// profile (58/49/38 MB/s outer to inner, consistent with the drive
+// family's published sustained-rate range) and a 1.5–17 ms seek curve
+// whose full-platter average matches the flat model's 8.5 ms.
+func BarracudaZoned() ZonedSpec {
+	base := Barracuda()
+	return ZonedSpec{
+		Spec:     base,
+		Capacity: 160 * simtime.GB,
+		Zones: []Zone{
+			{EndFrac: 0.4, TransferRate: 58 * float64(simtime.MB)},
+			{EndFrac: 0.8, TransferRate: 49 * float64(simtime.MB)},
+			{EndFrac: 1.0, TransferRate: 38 * float64(simtime.MB)},
+		},
+		Seek: SeekCurve{Min: 1.5e-3, Max: 17e-3},
+	}
+}
+
+// RateAt returns the media rate at an LBA expressed in bytes.
+func (z ZonedSpec) RateAt(lba simtime.Bytes) float64 {
+	if len(z.Zones) == 0 || z.Capacity <= 0 {
+		return z.TransferRate
+	}
+	frac := float64(lba) / float64(z.Capacity)
+	for _, zn := range z.Zones {
+		if frac < zn.EndFrac {
+			return zn.TransferRate
+		}
+	}
+	return z.Zones[len(z.Zones)-1].TransferRate
+}
+
+// ServiceTimeAt returns the service time of a request at the given LBA,
+// seeking from the previous head position.
+func (z ZonedSpec) ServiceTimeAt(fromLBA, lba, size simtime.Bytes) simtime.Seconds {
+	seek := z.Spec.SeekTime
+	if z.Seek.Max > 0 && z.Capacity > 0 {
+		dist := float64(lba-fromLBA) / float64(z.Capacity)
+		seek = z.Seek.Time(math.Abs(dist))
+	}
+	rate := z.RateAt(lba)
+	if rate <= 0 {
+		rate = z.TransferRate
+	}
+	return seek + z.RotationalLatency + simtime.Seconds(float64(size)/rate)
+}
+
+// ZonedDisk wraps Disk with head-position tracking so service times
+// depend on request location. Power management is inherited unchanged —
+// location only affects the mechanical service model.
+type ZonedDisk struct {
+	*Disk
+	zoned ZonedSpec
+	head  simtime.Bytes
+}
+
+// NewZoned creates a zoned disk.
+func NewZoned(spec ZonedSpec, longLatency simtime.Seconds) *ZonedDisk {
+	return &ZonedDisk{Disk: New(spec.Spec, longLatency), zoned: spec}
+}
+
+// SubmitAt offers a request at the given LBA. The head moves to the end
+// of the transfer.
+func (d *ZonedDisk) SubmitAt(arrival simtime.Seconds, lba, size simtime.Bytes) (finish, latency simtime.Seconds) {
+	service := d.zoned.ServiceTimeAt(d.head, lba, size)
+	d.head = lba + size
+	if d.head > d.zoned.Capacity {
+		d.head = d.zoned.Capacity
+	}
+	return d.Disk.submitWithService(arrival, size, service)
+}
+
+// Head returns the current head position.
+func (d *ZonedDisk) Head() simtime.Bytes { return d.head }
+
+// ZonedSpecOf returns the zoned parameters.
+func (d *ZonedDisk) ZonedSpecOf() ZonedSpec { return d.zoned }

@@ -1,0 +1,105 @@
+package disk
+
+import (
+	"testing"
+
+	"jointpm/internal/simtime"
+)
+
+func TestSeekCurve(t *testing.T) {
+	c := SeekCurve{Min: 1.5e-3, Max: 17e-3}
+	if got := c.Time(0); got != 0 {
+		t.Errorf("zero distance seek = %v", got)
+	}
+	if got := c.Time(1); !almost(float64(got), 17e-3, 1e-12) {
+		t.Errorf("full stroke = %v", got)
+	}
+	// Monotone in distance.
+	prev := simtime.Seconds(0)
+	for _, d := range []float64{0.01, 0.1, 0.3, 0.6, 1.0} {
+		v := c.Time(d)
+		if v <= prev {
+			t.Errorf("seek curve not monotone at %g", d)
+		}
+		prev = v
+	}
+	// Clamped outside [0,1].
+	if c.Time(2) != c.Time(1) || c.Time(-1) != 0 {
+		t.Error("clamping wrong")
+	}
+	if (SeekCurve{}).Time(0.5) != 0 {
+		t.Error("zero curve not neutral")
+	}
+}
+
+func TestZonedRates(t *testing.T) {
+	z := BarracudaZoned()
+	outer := z.RateAt(0)
+	mid := z.RateAt(z.Capacity / 2)
+	inner := z.RateAt(z.Capacity - 1)
+	if !(outer > mid && mid > inner) {
+		t.Errorf("zone rates not decreasing inward: %g, %g, %g", outer, mid, inner)
+	}
+	if outer != 58*float64(simtime.MB) || inner != 38*float64(simtime.MB) {
+		t.Errorf("zone boundaries wrong: %g, %g", outer, inner)
+	}
+	// Degenerate spec falls back to the flat rate.
+	flat := ZonedSpec{Spec: Barracuda()}
+	if flat.RateAt(123) != Barracuda().TransferRate {
+		t.Error("flat fallback broken")
+	}
+}
+
+func TestServiceTimeAt(t *testing.T) {
+	z := BarracudaZoned()
+	size := simtime.MB
+	// Sequential access (no head movement) is faster than a full-stroke
+	// seek.
+	seq := z.ServiceTimeAt(0, 0, size)
+	far := z.ServiceTimeAt(0, z.Capacity-size, size)
+	if seq >= far {
+		t.Errorf("sequential %v not faster than full-stroke %v", seq, far)
+	}
+	// Outer-zone transfer beats inner-zone transfer for the same seek.
+	outer := z.ServiceTimeAt(0, 0, 16*simtime.MB)
+	inner := z.ServiceTimeAt(z.Capacity-17*simtime.MB, z.Capacity-16*simtime.MB, 16*simtime.MB)
+	if outer >= inner {
+		t.Errorf("outer transfer %v not faster than inner %v", outer, inner)
+	}
+}
+
+func TestZonedDiskTracksHead(t *testing.T) {
+	d := NewZoned(BarracudaZoned(), 0.5)
+	d.SubmitAt(0, 0, simtime.MB)
+	if d.Head() != simtime.MB {
+		t.Errorf("head = %v", d.Head())
+	}
+	// Alternating far seeks cost more busy time than sequential access.
+	seq := NewZoned(BarracudaZoned(), 0.5)
+	alt := NewZoned(BarracudaZoned(), 0.5)
+	for i := 0; i < 10; i++ {
+		seq.SubmitAt(simtime.Seconds(i), simtime.Bytes(i)*simtime.MB, simtime.MB)
+		lba := simtime.Bytes(0)
+		if i%2 == 1 {
+			lba = alt.zoned.Capacity - 2*simtime.MB
+		}
+		alt.SubmitAt(simtime.Seconds(i), lba, simtime.MB)
+	}
+	if seq.Stats().BusyTime >= alt.Stats().BusyTime {
+		t.Errorf("sequential busy %v not below alternating %v",
+			seq.Stats().BusyTime, alt.Stats().BusyTime)
+	}
+}
+
+func TestZonedPowerManagementInherited(t *testing.T) {
+	d := NewZoned(BarracudaZoned(), 0.5)
+	d.SetTimeout(0, 10)
+	d.SubmitAt(0, 0, simtime.MB)
+	d.FinishTo(100)
+	if d.State() != StateStandby {
+		t.Error("zoned disk did not inherit spin-down")
+	}
+	if d.Stats().SpinDowns != 1 {
+		t.Errorf("spin-downs = %d", d.Stats().SpinDowns)
+	}
+}

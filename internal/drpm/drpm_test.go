@@ -1,0 +1,140 @@
+package drpm
+
+import (
+	"testing"
+
+	"jointpm/internal/disk"
+	"jointpm/internal/simtime"
+	"jointpm/internal/workload"
+)
+
+func drpmSpec() Spec {
+	return DeriveLevels(disk.Barracuda(), 12000, 4)
+}
+
+func drpmWorkload(t testing.TB, rate float64) Config {
+	t.Helper()
+	tr, err := workload.Generate(workload.Config{
+		DataSetBytes: 64 * simtime.MB,
+		PageSize:     16 * simtime.KB,
+		Rate:         rate,
+		Popularity:   0.1,
+		Duration:     3600,
+		Seed:         4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Config{
+		Trace:    tr,
+		Spec:     drpmSpec(),
+		MemBytes: 128 * simtime.MB,
+		BankSize: simtime.MB,
+		Period:   300,
+	}
+}
+
+func TestDeriveLevels(t *testing.T) {
+	s := drpmSpec()
+	if len(s.Levels) != 4 {
+		t.Fatalf("levels = %d", len(s.Levels))
+	}
+	if s.Levels[0].RPM != 12000 || s.Levels[3].RPM != 6000 {
+		t.Errorf("RPM ladder: %d..%d", s.Levels[0].RPM, s.Levels[3].RPM)
+	}
+	for i := 1; i < len(s.Levels); i++ {
+		if s.Levels[i].IdlePower >= s.Levels[i-1].IdlePower {
+			t.Error("idle power not decreasing with speed")
+		}
+		if s.Levels[i].TransferRate >= s.Levels[i-1].TransferRate {
+			t.Error("transfer rate not decreasing with speed")
+		}
+		if s.Levels[i].RotLatency <= s.Levels[i-1].RotLatency {
+			t.Error("rotational latency not increasing as speed drops")
+		}
+	}
+	// Half speed = quarter idle power.
+	ratio := float64(s.Levels[3].IdlePower) / float64(s.Levels[0].IdlePower)
+	if ratio < 0.24 || ratio > 0.26 {
+		t.Errorf("half-speed power ratio = %g, want ~0.25", ratio)
+	}
+	// Service is slower at lower levels.
+	if s.ServiceTime(3, simtime.MB) <= s.ServiceTime(0, simtime.MB) {
+		t.Error("service not slower at low speed")
+	}
+	if s.TransitionTime(0, 3) <= 0 || s.TransitionTime(2, 2) != 0 {
+		t.Error("transition times wrong")
+	}
+}
+
+func TestFullSpeedBaseline(t *testing.T) {
+	cfg := drpmWorkload(t, 256*float64(simtime.KB))
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Transitions != 0 {
+		t.Errorf("full-speed made %d transitions", res.Transitions)
+	}
+	for l := 1; l < len(res.LevelTime); l++ {
+		if res.LevelTime[l] != 0 {
+			t.Errorf("full-speed spent time at level %d", l)
+		}
+	}
+	if res.TotalEnergy() <= 0 || res.Requests == 0 {
+		t.Fatal("empty result")
+	}
+}
+
+func TestAdaptiveDropsSpeedWhenQuiet(t *testing.T) {
+	cfg := drpmWorkload(t, 64*float64(simtime.KB)) // light load
+	cfg.Policy = Adaptive
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	low := res.LevelTime[len(res.LevelTime)-1]
+	if low <= 0 {
+		t.Error("adaptive never reached the lowest speed on a light load")
+	}
+	if res.Transitions == 0 {
+		t.Error("adaptive made no transitions")
+	}
+}
+
+func TestAdaptiveSavesEnergyCostsLatency(t *testing.T) {
+	full := drpmWorkload(t, 128*float64(simtime.KB))
+	fres, err := Run(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ad := drpmWorkload(t, 128*float64(simtime.KB))
+	ad.Policy = Adaptive
+	ares, err := Run(ad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ares.DiskEnergy >= fres.DiskEnergy {
+		t.Errorf("adaptive disk energy %v not below full-speed %v", ares.DiskEnergy, fres.DiskEnergy)
+	}
+	if ares.MeanLatency() < fres.MeanLatency() {
+		t.Errorf("adaptive latency %v below full-speed %v (slower platters cannot be faster)",
+			ares.MeanLatency(), fres.MeanLatency())
+	}
+	// Identical cache behaviour: speed does not change misses.
+	if ares.DiskAccesses != fres.DiskAccesses {
+		t.Errorf("miss counts differ: %d vs %d", ares.DiskAccesses, fres.DiskAccesses)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	bad := []Config{
+		{},
+		{Trace: drpmWorkload(t, 1000).Trace}, // no levels
+	}
+	for i, cfg := range bad {
+		if _, err := Run(cfg); err == nil {
+			t.Errorf("case %d: bad config accepted", i)
+		}
+	}
+}

@@ -1,0 +1,83 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"jointpm/internal/pareto"
+	"jointpm/internal/simtime"
+)
+
+// Fig1 prints the power models of Fig. 1: the memory and disk mode
+// parameters with the derived quantities the paper computes from them
+// (static power per MB, dynamic energy per MB, break-even times).
+func Fig1(s Scale, _ int64, w io.Writer) error {
+	m := s.MemSpec
+	d := s.DiskSpec
+
+	mt := newTable("Fig. 1(a): memory power model (derived per-bank values)",
+		"quantity", "value")
+	mt.addRow("bank size", m.BankSize.String())
+	mt.addRow("nap (static) power per MB", fmt.Sprintf("%.4g mW/MB", float64(m.NapPowerPerMB)*1e3))
+	mt.addRow("nap power per bank", fmt.Sprintf("%.4g mW", float64(m.NapPower())*1e3))
+	mt.addRow("power-down power per bank", fmt.Sprintf("%.4g mW", float64(m.PDPower())*1e3))
+	mt.addRow("dynamic energy", fmt.Sprintf("%.4g mJ/MB", float64(m.DynamicPerMB)*1e3))
+	mt.addRow("power-down timeout (2-competitive)", m.PDTimeout.String())
+	mt.addRow("disable timeout (2-competitive)", m.DisableTimeout.String())
+	if err := mt.render(w); err != nil {
+		return err
+	}
+
+	dt := newTable("Fig. 1(b): disk power model", "quantity", "value")
+	dt.addRow("active power", d.ActivePower.String())
+	dt.addRow("idle power", d.IdlePower.String())
+	dt.addRow("standby power", d.StandbyPower.String())
+	dt.addRow("static power p_d (idle − standby)", d.StaticPower().String())
+	dt.addRow("dynamic power (active − idle)", d.DynamicPower().String())
+	dt.addRow("round-trip transition energy", d.TransitionEnergy.String())
+	dt.addRow("spin-up time t_tr", d.SpinUpTime.String())
+	dt.addRow("break-even time t_be", d.BreakEven().String())
+	if err := dt.render(w); err != nil {
+		return err
+	}
+
+	bw := newTable("Disk bandwidth table (DiskSim substitute)", "request size", "bandwidth (MB/s)", "service time")
+	for _, sz := range []simtime.Bytes{4 * simtime.KB, 64 * simtime.KB, 256 * simtime.KB,
+		simtime.MB, 4 * simtime.MB, 16 * simtime.MB} {
+		bw.addRow(sz.String(),
+			fmt.Sprintf("%.2f", d.Bandwidth(sz)/float64(simtime.MB)),
+			d.ServiceTime(sz).String())
+	}
+	return bw.render(w)
+}
+
+// Fig5 prints the Pareto CDF curves of Fig. 5 — one distribution with
+// large α and small β, one with small α and large β — together with the
+// optimal timeouts t_o = α·t_be each implies, illustrating why the
+// timeout must track the fitted shape.
+func Fig5(s Scale, _ int64, w io.Writer) error {
+	d1 := pareto.Dist{Alpha: 2.5, Beta: 0.5} // many short intervals
+	d2 := pareto.Dist{Alpha: 1.2, Beta: 2.0} // heavy tail
+	tbe := float64(s.DiskSpec.BreakEven())
+
+	t := newTable("Fig. 5: Pareto CDFs of idle-interval length",
+		"l (s)", fmt.Sprintf("CDF a=%.1f b=%.1f", d1.Alpha, d1.Beta),
+		fmt.Sprintf("CDF a=%.1f b=%.1f", d2.Alpha, d2.Beta))
+	for _, x := range []float64{0.5, 1, 2, 5, 10, 20, 50, 100, 200, 500} {
+		t.addRow(fmt.Sprintf("%g", x),
+			fmt.Sprintf("%.4f", d1.CDF(x)),
+			fmt.Sprintf("%.4f", d2.CDF(x)))
+	}
+	if err := t.render(w); err != nil {
+		return err
+	}
+
+	ot := newTable("Optimal timeouts implied by eq. (5)", "distribution", "t_o = a*t_be", "P(idle > t_o)")
+	for _, d := range []pareto.Dist{d1, d2} {
+		to := d.Alpha * tbe
+		ot.addRow(fmt.Sprintf("a=%.1f b=%.1f", d.Alpha, d.Beta),
+			fmt.Sprintf("%.1fs", to),
+			fmt.Sprintf("%.4f", d.Tail(to)))
+	}
+	return ot.render(w)
+}

@@ -1,0 +1,289 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"jointpm/internal/policy"
+	"jointpm/internal/simtime"
+)
+
+// Claim is one of the paper's qualitative results, evaluated against a
+// sweep's measured points. EXPERIMENTS.md records these comparisons
+// prose-style; Claims make them executable (`jointpm -exp fig7 -check`),
+// so a regression in the reproduction's shape fails loudly instead of
+// silently drifting.
+type Claim struct {
+	ID     string
+	Desc   string
+	Holds  bool
+	Detail string
+}
+
+func claim(id, desc string, holds bool, detail string, args ...interface{}) Claim {
+	return Claim{ID: id, Desc: desc, Holds: holds, Detail: fmt.Sprintf(detail, args...)}
+}
+
+// row finds a method's row within a point; nil if absent.
+func (p *Point) row(match func(policy.Method) bool) *Row {
+	for i := range p.Rows {
+		if match(p.Rows[i].Method) {
+			return &p.Rows[i]
+		}
+	}
+	return nil
+}
+
+func isFM(disk policy.DiskKind, size simtime.Bytes) func(policy.Method) bool {
+	return func(m policy.Method) bool {
+		return m.Disk == disk && m.Mem == policy.MemFixedNap && m.MemBytes == size
+	}
+}
+
+func isKind(disk policy.DiskKind, memKind policy.MemKind) func(policy.Method) bool {
+	return func(m policy.Method) bool { return m.Disk == disk && m.Mem == memKind }
+}
+
+func isJoint(m policy.Method) bool { return m.IsJoint() }
+func isAlwaysOn(m policy.Method) bool {
+	return m.Disk == policy.DiskAlwaysOn && m.Mem == policy.MemFixedNap
+}
+
+// CheckFig7 evaluates the paper's Fig. 7 / Section V-B(1) claims against
+// a data-set sweep produced by runDataSetSweep.
+func CheckFig7(s Scale, points []*Point) []Claim {
+	var out []Claim
+	if len(points) != 5 {
+		return []Claim{claim("fig7-shape", "sweep has five data sets", false, "got %d points", len(points))}
+	}
+	p4, p64 := points[0], points[4]
+
+	// Baselines normalise to themselves.
+	ok := true
+	for _, p := range points {
+		if r := p.row(isAlwaysOn); r == nil || r.TotalPct < 99.9 || r.TotalPct > 100.1 {
+			ok = false
+		}
+	}
+	out = append(out, claim("fig7-baseline", "always-on normalises to 100%", ok, ""))
+
+	// Small fixed memory saturates the disk at 64 GB and is omitted.
+	small := p64.row(isFM(policy.DiskTwoCompetitive, 8*s.Unit))
+	out = append(out, claim("fig7-omit-8gb",
+		"2TFM-8GB exceeds disk bandwidth at the 64GB set (paper omits the bar)",
+		small != nil && small.Omitted,
+		"util=%.1f%%", pctOf(small)))
+
+	// Joint respects the utilization cap at every set.
+	ok = true
+	detail := ""
+	for _, p := range points {
+		if r := p.row(isJoint); r == nil || r.Result.Utilization > 0.10+0.02 {
+			ok = false
+			if r != nil {
+				detail = fmt.Sprintf("%s util=%.1f%%", p.Label, r.Result.Utilization*100)
+			}
+		}
+	}
+	out = append(out, claim("fig7-joint-cap", "joint utilization stays within the 10% cap", ok, "%s", detail))
+
+	// Joint beats the oversized fixed configuration at the small set
+	// (the paper's A/B comparison: ~19% at 4 GB vs 2TFM-32GB).
+	j4 := p4.row(isJoint)
+	f32 := p4.row(isFM(policy.DiskTwoCompetitive, 32*s.Unit))
+	out = append(out, claim("fig7-ab",
+		"joint well below 2TFM-32GB at the 4GB set (paper: ~19 points)",
+		j4 != nil && f32 != nil && f32.TotalPct-j4.TotalPct > 10,
+		"joint=%.1f%% 2TFM-32GB=%.1f%%", pctTotal(j4), pctTotal(f32)))
+
+	// Break-even memory size: oversizing fixed memory monotonically
+	// raises total energy at every data set.
+	ok = true
+	for _, p := range points {
+		f32 := p.row(isFM(policy.DiskTwoCompetitive, 32*s.Unit))
+		f64 := p.row(isFM(policy.DiskTwoCompetitive, 64*s.Unit))
+		f128 := p.row(isFM(policy.DiskTwoCompetitive, 128*s.Unit))
+		if f32 == nil || f64 == nil || f128 == nil ||
+			!(f32.TotalPct < f64.TotalPct && f64.TotalPct < f128.TotalPct) {
+			ok = false
+		}
+	}
+	out = append(out, claim("fig7-breakeven",
+		"beyond the break-even memory size, more memory means more total energy", ok, ""))
+
+	// PD keeps >30% memory energy regardless of data set.
+	ok = true
+	for _, p := range points {
+		if r := p.row(isKind(policy.DiskTwoCompetitive, policy.MemPowerDown)); r == nil || r.MemPct < 30 {
+			ok = false
+		}
+	}
+	out = append(out, claim("fig7-pd-memory",
+		"power-down memory energy exceeds 30% of always-on at every set", ok, ""))
+
+	// DS beats joint at the 64 GB set (the paper's stated exception).
+	ds64 := p64.row(isKind(policy.DiskTwoCompetitive, policy.MemDisable))
+	j64 := p64.row(isJoint)
+	out = append(out, claim("fig7-ds-64gb",
+		"timeout-disable is competitive with joint at 64GB (paper's exception)",
+		ds64 != nil && j64 != nil && ds64.TotalPct <= j64.TotalPct+2,
+		"DS=%.1f%% joint=%.1f%%", pctTotal(ds64), pctTotal(j64)))
+
+	// Joint saves energy versus always-on everywhere.
+	ok = true
+	for _, p := range points {
+		if r := p.row(isJoint); r == nil || r.TotalPct >= 100 {
+			ok = false
+		}
+	}
+	out = append(out, claim("fig7-joint-saves", "joint below always-on at every set", ok, ""))
+
+	return out
+}
+
+// CheckFig8Rate evaluates the rate-sweep claims (Section V-B(2)).
+func CheckFig8Rate(s Scale, points []*Point) []Claim {
+	var out []Claim
+	if len(points) != 5 {
+		return []Claim{claim("fig8r-shape", "sweep has five rates", false, "got %d", len(points))}
+	}
+	// Methods caching the whole 16 GB set keep near-constant energy
+	// across rates ("their memory caches the whole data set").
+	f64lo := points[0].row(isFM(policy.DiskTwoCompetitive, 64*s.Unit))
+	f64hi := points[4].row(isFM(policy.DiskTwoCompetitive, 64*s.Unit))
+	out = append(out, claim("fig8r-flat",
+		"oversized fixed memory energy is nearly rate-independent",
+		f64lo != nil && f64hi != nil && abs(f64lo.TotalPct-f64hi.TotalPct) < 10,
+		"5MB/s=%.1f%% 200MB/s=%.1f%%", pctTotal(f64lo), pctTotal(f64hi)))
+
+	// The undersized 8 GB methods degrade with rate: more long-latency
+	// requests at 150–200 MB/s than at 5 MB/s.
+	lo := points[0].row(isFM(policy.DiskTwoCompetitive, 8*s.Unit))
+	hi := points[4].row(isFM(policy.DiskTwoCompetitive, 8*s.Unit))
+	out = append(out, claim("fig8r-8gb-delays",
+		"2TFM-8GB long-latency rate grows with the data rate",
+		lo != nil && hi != nil && (hi.Omitted ||
+			hi.Result.DelayedPerSecond() > lo.Result.DelayedPerSecond()),
+		"5MB/s=%.3f/s 200MB/s=%.3f/s", delayedOf(lo), delayedOf(hi)))
+
+	// Joint keeps the long-latency rate low at every rate (paper: <3/s).
+	ok := true
+	for _, p := range points {
+		if r := p.row(isJoint); r == nil || r.Result.DelayedPerSecond() > 3 {
+			ok = false
+		}
+	}
+	out = append(out, claim("fig8r-joint-delays", "joint long-latency below 3/s at every rate", ok, ""))
+
+	// Joint saves energy versus always-on at every rate.
+	ok = true
+	for _, p := range points {
+		if r := p.row(isJoint); r == nil || r.TotalPct >= 100 {
+			ok = false
+		}
+	}
+	out = append(out, claim("fig8r-joint-saves", "joint below always-on at every rate", ok, ""))
+	return out
+}
+
+// CheckFig8Popularity evaluates the popularity-sweep claims (V-B(3)).
+func CheckFig8Popularity(s Scale, points []*Point) []Claim {
+	var out []Claim
+	if len(points) != 5 {
+		return []Claim{claim("fig8p-shape", "sweep has five densities", false, "got %d", len(points))}
+	}
+	// Methods caching the whole set are popularity-independent.
+	f64a := points[0].row(isFM(policy.DiskTwoCompetitive, 64*s.Unit))
+	f64b := points[4].row(isFM(policy.DiskTwoCompetitive, 64*s.Unit))
+	out = append(out, claim("fig8p-flat",
+		"oversized fixed memory energy is popularity-independent",
+		f64a != nil && f64b != nil && abs(f64a.TotalPct-f64b.TotalPct) < 10,
+		"pop=0.05: %.1f%%, pop=0.6: %.1f%%", pctTotal(f64a), pctTotal(f64b)))
+
+	// 2TFM-8GB collapses at popularity 0.6 (0.6·16 GB > 8 GB): many more
+	// long-latency requests than at dense popularity.
+	dense := points[0].row(isFM(policy.DiskTwoCompetitive, 8*s.Unit))
+	sparse := points[4].row(isFM(policy.DiskTwoCompetitive, 8*s.Unit))
+	out = append(out, claim("fig8p-8gb-collapse",
+		"2TFM-8GB degrades when the popular set outgrows its memory",
+		dense != nil && sparse != nil && (sparse.Omitted ||
+			sparse.Result.DelayedPerSecond() > dense.Result.DelayedPerSecond()),
+		"pop=0.05: %.3f/s, pop=0.6: %.3f/s", delayedOf(dense), delayedOf(sparse)))
+
+	// Joint saves energy versus always-on at every density.
+	ok := true
+	for _, p := range points {
+		if r := p.row(isJoint); r == nil || r.TotalPct >= 100 {
+			ok = false
+		}
+	}
+	out = append(out, claim("fig8p-joint-saves", "joint below always-on at every density", ok, ""))
+	return out
+}
+
+func pctOf(r *Row) float64 {
+	if r == nil {
+		return -1
+	}
+	return r.Result.Utilization * 100
+}
+
+func pctTotal(r *Row) float64 {
+	if r == nil {
+		return -1
+	}
+	return r.TotalPct
+}
+
+func delayedOf(r *Row) float64 {
+	if r == nil {
+		return -1
+	}
+	return r.Result.DelayedPerSecond()
+}
+
+// RenderClaims prints a PASS/FAIL line per claim and returns how many
+// failed.
+func RenderClaims(claims []Claim, w io.Writer) int {
+	failed := 0
+	for _, c := range claims {
+		status := "PASS"
+		if !c.Holds {
+			status = "FAIL"
+			failed++
+		}
+		if c.Detail != "" {
+			fmt.Fprintf(w, "%s  %-18s %s (%s)\n", status, c.ID, c.Desc, c.Detail)
+		} else {
+			fmt.Fprintf(w, "%s  %-18s %s\n", status, c.ID, c.Desc)
+		}
+	}
+	return failed
+}
+
+// RunSweep executes one sweep experiment end-to-end: produce the points
+// once, render the tables, optionally export CSV, and optionally evaluate
+// the paper's claims. Returns the number of failed claims.
+func RunSweep(id string, s Scale, seed int64, w, csvW io.Writer, check bool) (int, error) {
+	sw, ok := Sweeps[id]
+	if !ok {
+		return 0, fmt.Errorf("experiments: %q is not a sweep experiment", id)
+	}
+	points, err := sw.Produce(s, seed)
+	if err != nil {
+		return 0, err
+	}
+	if err := sw.Render(points, w); err != nil {
+		return 0, err
+	}
+	if csvW != nil {
+		if err := WriteSweepCSV(points, csvW); err != nil {
+			return 0, err
+		}
+	}
+	if !check {
+		return 0, nil
+	}
+	fmt.Fprintln(w, "\nclaims:")
+	return RenderClaims(sw.Check(s, points), w), nil
+}

@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+)
+
+// Sweep bundles one sweep experiment's producer with its renderer and
+// claim checker, so a single run of the (expensive) sweep can feed the
+// human-readable tables, the machine-readable CSV, and the shape checks.
+type Sweep struct {
+	Produce func(Scale, int64) ([]*Point, error)
+	Render  func([]*Point, io.Writer) error
+	Check   func(Scale, []*Point) []Claim
+}
+
+// Sweeps indexes the sweep experiments by id.
+var Sweeps = map[string]Sweep{
+	"fig7": {
+		Produce: runDataSetSweep,
+		Render:  renderFig7,
+		Check:   CheckFig7,
+	},
+	"fig8rate": {
+		Produce: runRateSweep,
+		Render: func(p []*Point, w io.Writer) error {
+			return renderEnergyAndDelay("Fig. 8(a,b)", p, w)
+		},
+		Check: CheckFig8Rate,
+	},
+	"fig8pop": {
+		Produce: runPopularitySweep,
+		Render: func(p []*Point, w io.Writer) error {
+			return renderEnergyAndDelay("Fig. 8(c,d)", p, w)
+		},
+		Check: CheckFig8Popularity,
+	},
+}
+
+// WriteSweepCSV exports a sweep in long form, one row per (point,
+// method), with every metric the paper's panels plot. Suitable for
+// external plotting tools.
+func WriteSweepCSV(points []*Point, w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := []string{
+		"point", "method", "omitted",
+		"total_pct", "disk_pct", "mem_pct",
+		"mean_latency_ms", "utilization_pct", "delayed_per_s",
+		"cache_accesses", "disk_accesses", "disk_requests",
+		"total_energy_j", "disk_energy_j", "mem_energy_j", "oracle_disk_pm_j",
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	f := func(v float64, prec int) string { return fmt.Sprintf("%.*f", prec, v) }
+	for _, p := range points {
+		for i := range p.Rows {
+			r := &p.Rows[i]
+			res := r.Result
+			rec := []string{
+				p.Label, r.Method.Name(), fmt.Sprintf("%t", r.Omitted),
+				f(r.TotalPct, 2), f(r.DiskPct, 2), f(r.MemPct, 2),
+				f(float64(res.MeanLatency())*1e3, 4),
+				f(res.Utilization*100, 3),
+				f(res.DelayedPerSecond(), 5),
+				fmt.Sprintf("%d", res.CacheAccesses),
+				fmt.Sprintf("%d", res.DiskAccesses),
+				fmt.Sprintf("%d", res.DiskRequests),
+				f(float64(res.TotalEnergy()), 1),
+				f(float64(res.DiskEnergy.Total()), 1),
+				f(float64(res.MemEnergy.Total()), 1),
+				f(float64(res.OracleDiskPM), 1),
+			}
+			if err := cw.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

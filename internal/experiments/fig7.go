@@ -1,0 +1,136 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"jointpm/internal/policy"
+	"jointpm/internal/workload"
+)
+
+// runDataSetSweep executes the Fig. 7 / Table III configuration: data
+// sets of 4–64 "GB" at 100 "MB/s" and popularity 0.1, across the paper's
+// 16 methods. The 4 GB base trace is generated once and the larger sets
+// are derived through the synthesizer, exactly as the paper's Fig. 6(b)
+// pipeline does.
+func runDataSetSweep(s Scale, seed int64) ([]*Point, error) {
+	r := newRunner(s)
+	methods := policy.Comparison(s.InstalledMem, s.FMSizes())
+	policy.SortMethods(methods)
+
+	rate := 100 * s.RateUnit
+	// The base trace must cover the metered horizon plus the warmup of
+	// the largest (slowest-warming) data set in the sweep.
+	maxWarmup := s.WarmupFor(64*s.Unit, rate)
+	base, err := s.GenerateBase(4*s.Unit, rate, 0.1, seed, maxWarmup)
+	if err != nil {
+		return nil, err
+	}
+	synth := workload.NewSynthesizer(seed + 1)
+
+	var points []*Point
+	for _, factor := range []int{1, 2, 4, 8, 16} {
+		tr := base
+		if factor > 1 {
+			if tr, err = synth.ScaleDataSet(base, factor); err != nil {
+				return nil, err
+			}
+		}
+		p, err := r.point(s.GBLabel(tr.DataSetBytes), tr, methods, s.WarmupFor(tr.DataSetBytes, rate))
+		if err != nil {
+			return nil, err
+		}
+		points = append(points, p)
+	}
+	return points, nil
+}
+
+// renderFig7 prints the six panels of Fig. 7 as tables: normalised total,
+// disk, and memory energy; mean request latency; disk utilization; and
+// long-latency requests per second. Rows are methods, columns data sets.
+func renderFig7(points []*Point, w io.Writer) error {
+	header := []string{"method"}
+	for _, p := range points {
+		header = append(header, p.Label)
+	}
+	panels := []struct {
+		title string
+		cell  func(Row) string
+	}{
+		{"Fig. 7(a) total energy (% of always-on)", func(r Row) string { return fmtPct(r.TotalPct, r.Omitted) }},
+		{"Fig. 7(b) disk energy (% of always-on)", func(r Row) string { return fmtPct(r.DiskPct, r.Omitted) }},
+		{"Fig. 7(c) memory energy (% of always-on)", func(r Row) string { return fmtPct(r.MemPct, r.Omitted) }},
+		{"Fig. 7(d) mean request latency (ms)", func(r Row) string {
+			return fmtF(float64(r.Result.MeanLatency())*1e3, 2, r.Omitted)
+		}},
+		{"Fig. 7(e) disk bandwidth utilization (%)", func(r Row) string {
+			return fmtF(r.Result.Utilization*100, 1, false)
+		}},
+		{"Fig. 7(f) requests with >0.5s latency (per second)", func(r Row) string {
+			return fmtF(r.Result.DelayedPerSecond(), 3, r.Omitted)
+		}},
+	}
+	for _, panel := range panels {
+		t := newTable(panel.title, header...)
+		for m := range points[0].Rows {
+			cells := []string{points[0].Rows[m].Method.Name()}
+			for _, p := range points {
+				cells = append(cells, panel.cell(p.Rows[m]))
+			}
+			t.addRow(cells...)
+		}
+		if err := t.render(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// renderTable3 prints Table III: per-method disk accesses (page misses)
+// and the workload's memory accesses per data set.
+func renderTable3(points []*Point, w io.Writer) error {
+	header := []string{"method"}
+	for _, p := range points {
+		header = append(header, p.Label)
+	}
+	t := newTable("Table III: disk accesses (page misses) per data set", header...)
+	// The paper shows one row per memory-management scheme (timeout pairs
+	// share miss counts); print every method for completeness.
+	for m := range points[0].Rows {
+		cells := []string{points[0].Rows[m].Method.Name()}
+		for _, p := range points {
+			cells = append(cells, fmtCount(p.Rows[m].Result.DiskAccesses))
+		}
+		t.addRow(cells...)
+	}
+	if err := t.render(w); err != nil {
+		return err
+	}
+	ma := newTable("Table III (last row): memory accesses (MA) per data set", header...)
+	cells := []string{"MA"}
+	for _, p := range points {
+		cells = append(cells, fmtCount(p.Baseline.CacheAccesses))
+	}
+	ma.addRow(cells...)
+	return ma.render(w)
+}
+
+// Fig7 runs and renders the full data-set sweep.
+func Fig7(s Scale, seed int64, w io.Writer) error {
+	points, err := runDataSetSweep(s, seed)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "Fig. 7: data-set sweep at %s, popularity 0.1, horizon %v, scale %q\n",
+		s.RateLabel(100*s.RateUnit), s.Horizon, s.Name)
+	return renderFig7(points, w)
+}
+
+// Table3 runs the same sweep and renders the access-count table.
+func Table3(s Scale, seed int64, w io.Writer) error {
+	points, err := runDataSetSweep(s, seed)
+	if err != nil {
+		return err
+	}
+	return renderTable3(points, w)
+}

@@ -1,0 +1,125 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"jointpm/internal/policy"
+	"jointpm/internal/workload"
+)
+
+// runRateSweep executes Fig. 8(a)/(b): a 16 "GB" data set swept across
+// data rates of 5–200 "MB/s". The base trace is generated at 100 and the
+// other rates derived by the synthesizer's interarrival scaling.
+func runRateSweep(s Scale, seed int64) ([]*Point, error) {
+	r := newRunner(s)
+	methods := policy.Comparison(s.InstalledMem, s.FMSizes())
+	policy.SortMethods(methods)
+
+	// The base duration must leave the metered horizon intact at the
+	// fastest rate, whose time axis compresses the most; slower points
+	// stretch it and have warmup to spare.
+	maxWarmup := s.WarmupFor(16*s.Unit, 200*s.RateUnit) * 2
+	base, err := s.GenerateBase(16*s.Unit, 100*s.RateUnit, 0.1, seed, maxWarmup)
+	if err != nil {
+		return nil, err
+	}
+	synth := workload.NewSynthesizer(seed + 1)
+
+	var points []*Point
+	for _, rate := range s.Rates() {
+		factor := rate / (100 * s.RateUnit)
+		tr := base
+		if factor != 1 {
+			if tr, err = synth.ScaleRate(base, factor); err != nil {
+				return nil, err
+			}
+		}
+		p, err := r.point(s.RateLabel(rate), tr, methods, s.WarmupFor(16*s.Unit, rate))
+		if err != nil {
+			return nil, err
+		}
+		points = append(points, p)
+	}
+	return points, nil
+}
+
+// runPopularitySweep executes Fig. 8(c)/(d): a 16 "GB" data set at
+// 5 "MB/s" swept across popularity densities. The paper uses the low rate
+// because "high data rates hide the effect of data popularity".
+func runPopularitySweep(s Scale, seed int64) ([]*Point, error) {
+	r := newRunner(s)
+	methods := policy.Comparison(s.InstalledMem, s.FMSizes())
+	policy.SortMethods(methods)
+
+	rate := 5 * s.RateUnit
+	warmup := s.WarmupFor(16*s.Unit, rate)
+	base, err := s.GenerateBase(16*s.Unit, rate, 0.1, seed, warmup)
+	if err != nil {
+		return nil, err
+	}
+	synth := workload.NewSynthesizer(seed + 1)
+
+	var points []*Point
+	for _, pop := range s.Popularities() {
+		tr := base
+		if pop != 0.1 {
+			if tr, err = synth.SetPopularity(base, pop); err != nil {
+				return nil, err
+			}
+		}
+		p, err := r.point(fmt.Sprintf("pop=%.2f", pop), tr, methods, warmup)
+		if err != nil {
+			return nil, err
+		}
+		points = append(points, p)
+	}
+	return points, nil
+}
+
+// renderEnergyAndDelay prints the two panels Fig. 8 repeats for each
+// sweep: normalised total energy and long-latency request rate.
+func renderEnergyAndDelay(title string, points []*Point, w io.Writer) error {
+	header := []string{"method"}
+	for _, p := range points {
+		header = append(header, p.Label)
+	}
+	e := newTable(title+": total energy (% of always-on)", header...)
+	d := newTable(title+": requests with >0.5s latency (per second)", header...)
+	for m := range points[0].Rows {
+		ec := []string{points[0].Rows[m].Method.Name()}
+		dc := []string{points[0].Rows[m].Method.Name()}
+		for _, p := range points {
+			r := p.Rows[m]
+			ec = append(ec, fmtPct(r.TotalPct, r.Omitted))
+			dc = append(dc, fmtF(r.Result.DelayedPerSecond(), 3, r.Omitted))
+		}
+		e.addRow(ec...)
+		d.addRow(dc...)
+	}
+	if err := e.render(w); err != nil {
+		return err
+	}
+	return d.render(w)
+}
+
+// Fig8Rate runs and renders the data-rate sweep.
+func Fig8Rate(s Scale, seed int64, w io.Writer) error {
+	points, err := runRateSweep(s, seed)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "Fig. 8(a,b): rate sweep, 16GB data set, popularity 0.1, scale %q\n", s.Name)
+	return renderEnergyAndDelay("Fig. 8(a,b)", points, w)
+}
+
+// Fig8Popularity runs and renders the popularity sweep.
+func Fig8Popularity(s Scale, seed int64, w io.Writer) error {
+	points, err := runPopularitySweep(s, seed)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "Fig. 8(c,d): popularity sweep, 16GB data set at %s, scale %q\n",
+		s.RateLabel(5*s.RateUnit), s.Name)
+	return renderEnergyAndDelay("Fig. 8(c,d)", points, w)
+}

@@ -1,0 +1,91 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Experiment is one reproducible artifact from the paper's evaluation.
+type Experiment struct {
+	ID    string
+	Paper string // which table/figure it regenerates
+	Desc  string
+	Run   func(s Scale, seed int64, w io.Writer) error
+}
+
+var registry = map[string]Experiment{
+	"fig1": {
+		ID: "fig1", Paper: "Fig. 1",
+		Desc: "memory and disk power models with derived constants",
+		Run:  Fig1,
+	},
+	"fig5": {
+		ID: "fig5", Paper: "Fig. 5",
+		Desc: "Pareto CDFs and the optimal timeouts they imply",
+		Run:  Fig5,
+	},
+	"fig7": {
+		ID: "fig7", Paper: "Fig. 7(a)-(f)",
+		Desc: "data-set sweep: energy, latency, utilization, long-latency across 16 methods",
+		Run:  Fig7,
+	},
+	"table3": {
+		ID: "table3", Paper: "Table III",
+		Desc: "memory and disk access counts per method per data set",
+		Run:  Table3,
+	},
+	"fig8rate": {
+		ID: "fig8rate", Paper: "Fig. 8(a),(b)",
+		Desc: "data-rate sweep: energy and long-latency",
+		Run:  Fig8Rate,
+	},
+	"fig8pop": {
+		ID: "fig8pop", Paper: "Fig. 8(c),(d)",
+		Desc: "popularity sweep: energy and long-latency",
+		Run:  Fig8Popularity,
+	},
+	"table4": {
+		ID: "table4", Paper: "Table IV",
+		Desc: "joint-method sensitivity to the adaptation period",
+		Run:  Table4,
+	},
+	"table5": {
+		ID: "table5", Paper: "Table V",
+		Desc: "joint-method sensitivity to the memory bank size",
+		Run:  Table5,
+	},
+	"fig9": {
+		ID: "fig9", Paper: "Fig. 9",
+		Desc: "per-period disk requests and idleness; last-period prediction error",
+		Run:  Fig9,
+	},
+}
+
+// ByID returns the experiment registered under id.
+func ByID(id string) (Experiment, error) {
+	e, ok := registry[id]
+	if !ok {
+		return Experiment{}, fmt.Errorf("experiments: unknown experiment %q (try: %v)", id, IDs())
+	}
+	return e, nil
+}
+
+// IDs returns all registered experiment ids, sorted.
+func IDs() []string {
+	out := make([]string, 0, len(registry))
+	for id := range registry {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// All returns all experiments in id order.
+func All() []Experiment {
+	out := make([]Experiment, 0, len(registry))
+	for _, id := range IDs() {
+		out = append(out, registry[id])
+	}
+	return out
+}

@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"jointpm/internal/stats"
+)
+
+// RunSweepReplicated executes a sweep experiment across several workload
+// seeds and reports the mean and standard deviation of each method's
+// normalised total energy per sweep point. The paper reports single
+// runs; replication quantifies how much of any gap between methods is
+// workload noise (`jointpm -exp fig7 -seeds 5`).
+func RunSweepReplicated(id string, s Scale, seeds []int64, w io.Writer) error {
+	sw, ok := Sweeps[id]
+	if !ok {
+		return fmt.Errorf("experiments: %q is not a sweep experiment", id)
+	}
+	if len(seeds) < 2 {
+		return fmt.Errorf("experiments: replication needs at least two seeds")
+	}
+
+	// acc[pointLabel][methodName] accumulates TotalPct across seeds.
+	type cell struct{ acc stats.Accumulator }
+	var labels []string
+	var methods []string
+	seenMethod := map[string]bool{}
+	table := map[string]map[string]*cell{}
+
+	for _, seed := range seeds {
+		points, err := sw.Produce(s, seed)
+		if err != nil {
+			return fmt.Errorf("experiments: seed %d: %w", seed, err)
+		}
+		for _, p := range points {
+			row := table[p.Label]
+			if row == nil {
+				row = map[string]*cell{}
+				table[p.Label] = row
+				labels = append(labels, p.Label)
+			}
+			for i := range p.Rows {
+				r := &p.Rows[i]
+				name := r.Method.Name()
+				c := row[name]
+				if c == nil {
+					c = &cell{}
+					row[name] = c
+				}
+				if !seenMethod[name] {
+					seenMethod[name] = true
+					methods = append(methods, name)
+				}
+				if !r.Omitted {
+					c.acc.Add(r.TotalPct)
+				}
+			}
+		}
+	}
+
+	header := []string{"method"}
+	header = append(header, labels...)
+	t := newTable(fmt.Sprintf("%s replicated over %d seeds: total energy %% (mean±sd)", id, len(seeds)), header...)
+	for _, m := range methods {
+		cells := []string{m}
+		for _, l := range labels {
+			c := table[l][m]
+			if c == nil || c.acc.N() == 0 {
+				cells = append(cells, "-")
+				continue
+			}
+			cells = append(cells, fmt.Sprintf("%.1f±%.1f", c.acc.Mean(), c.acc.StdDev()))
+		}
+		t.addRow(cells...)
+	}
+	return t.render(w)
+}

@@ -1,0 +1,125 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"jointpm/internal/core"
+	"jointpm/internal/policy"
+	"jointpm/internal/sim"
+	"jointpm/internal/simtime"
+	"jointpm/internal/trace"
+)
+
+// Row is one method's outcome at one sweep point, with energies
+// normalised against the always-on baseline of the same point.
+type Row struct {
+	Method policy.Method
+	Result *sim.Result
+
+	TotalPct, DiskPct, MemPct float64 // % of the always-on baseline
+	Omitted                   bool    // disk demand exceeded capacity (paper omits these bars)
+}
+
+// Point is one sweep point: a label (e.g. "16GB" or "100MB/s"), the
+// always-on baseline, and a row per method in figure order.
+type Point struct {
+	Label    string
+	Baseline *sim.Result
+	Rows     []Row
+}
+
+// runner executes method runs against one trace with bounded parallelism.
+type runner struct {
+	scale Scale
+	sem   chan struct{}
+}
+
+func newRunner(s Scale) *runner {
+	par := runtime.NumCPU()
+	if par > 8 {
+		par = 8 // each paper-scale run holds tens of MB of tables
+	}
+	if par < 1 {
+		par = 1
+	}
+	return &runner{scale: s, sem: make(chan struct{}, par)}
+}
+
+// config assembles the sim configuration for one method. warmup ≤ 0
+// falls back to the scale's minimum.
+func (r *runner) config(tr *trace.Trace, m policy.Method, warmup simtime.Seconds) sim.Config {
+	if warmup <= 0 {
+		warmup = r.scale.Warmup
+	}
+	return sim.Config{
+		Trace:        tr,
+		Method:       m,
+		InstalledMem: r.scale.InstalledMem,
+		BankSize:     r.scale.BankSize,
+		DiskSpec:     r.scale.DiskSpec,
+		MemSpec:      r.scale.MemSpec,
+		Period:       r.scale.Period,
+		Warmup:       warmup,
+		Joint:        &core.Params{DelayCap: r.scale.DelayCap},
+	}
+}
+
+// point runs all methods (plus the always-on baseline) over one trace and
+// normalises. Methods whose sustained disk demand exceeds the disk's
+// bandwidth are marked omitted, as the paper does for 2TFM-8GB/ADFM-8GB
+// at the 64 GB data set.
+func (r *runner) point(label string, tr *trace.Trace, methods []policy.Method, warmup simtime.Seconds) (*Point, error) {
+	results := make([]*sim.Result, len(methods))
+	errs := make([]error, len(methods))
+	var wg sync.WaitGroup
+	for i := range methods {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			r.sem <- struct{}{}
+			defer func() { <-r.sem }()
+			results[i], errs[i] = sim.Run(r.config(tr, methods[i], warmup))
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s at %s: %w", methods[i].Name(), label, err)
+		}
+	}
+
+	var baseline *sim.Result
+	for i, m := range methods {
+		if m.Disk == policy.DiskAlwaysOn && m.Mem == policy.MemFixedNap && m.MemBytes == r.scale.InstalledMem {
+			baseline = results[i]
+		}
+	}
+	if baseline == nil {
+		return nil, fmt.Errorf("experiments: method set lacks the always-on baseline")
+	}
+
+	p := &Point{Label: label, Baseline: baseline}
+	for i, m := range methods {
+		res := results[i]
+		row := Row{Method: m, Result: res}
+		row.TotalPct = pct(res.TotalEnergy(), baseline.TotalEnergy())
+		row.DiskPct = pct(res.DiskEnergy.Total(), baseline.DiskEnergy.Total())
+		row.MemPct = pct(res.MemEnergy.Total(), baseline.MemEnergy.Total())
+		// The paper drops bars whose "disk access rates exceed the disk's
+		// bandwidth": sustained utilization ≈ 1 means the queue diverges.
+		if res.Utilization > 0.98 {
+			row.Omitted = true
+		}
+		p.Rows = append(p.Rows, row)
+	}
+	return p, nil
+}
+
+func pct(v, base simtime.Joules) float64 {
+	if base == 0 {
+		return 0
+	}
+	return float64(v) / float64(base) * 100
+}

@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"text/tabwriter"
+)
+
+// table accumulates aligned rows and renders them with a title, mirroring
+// how the paper's figures are read (one row per method, one column per
+// sweep point).
+type table struct {
+	title   string
+	header  []string
+	rows    [][]string
+	nonData int // leading label columns
+}
+
+func newTable(title string, header ...string) *table {
+	return &table{title: title, header: header, nonData: 1}
+}
+
+func (t *table) addRow(cells ...string) {
+	t.rows = append(t.rows, cells)
+}
+
+func (t *table) render(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "\n%s\n%s\n", t.title, strings.Repeat("-", len(t.title))); err != nil {
+		return err
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, strings.Join(t.header, "\t"))
+	for _, r := range t.rows {
+		fmt.Fprintln(tw, strings.Join(r, "\t"))
+	}
+	return tw.Flush()
+}
+
+// fmtPct renders a normalised percentage, or the omission marker.
+func fmtPct(v float64, omitted bool) string {
+	if omitted {
+		return "-"
+	}
+	return fmt.Sprintf("%.1f", v)
+}
+
+// fmtF renders a float with the given precision, or the omission marker.
+func fmtF(v float64, prec int, omitted bool) string {
+	if omitted {
+		return "-"
+	}
+	return fmt.Sprintf("%.*f", prec, v)
+}
+
+// fmtCount renders an integer count with thousands grouping.
+func fmtCount(v int64) string {
+	s := fmt.Sprintf("%d", v)
+	if len(s) <= 3 {
+		return s
+	}
+	var b strings.Builder
+	lead := len(s) % 3
+	if lead > 0 {
+		b.WriteString(s[:lead])
+		if len(s) > lead {
+			b.WriteByte(',')
+		}
+	}
+	for i := lead; i < len(s); i += 3 {
+		b.WriteString(s[i : i+3])
+		if i+3 < len(s) {
+			b.WriteByte(',')
+		}
+	}
+	return b.String()
+}

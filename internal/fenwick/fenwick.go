@@ -1,0 +1,89 @@
+// Package fenwick implements a Fenwick (binary indexed) tree over int64
+// counts. The extended-LRU stack-distance engine uses it to count, in
+// O(log n), how many distinct pages were referenced more recently than a
+// given page — the page's LRU stack depth.
+package fenwick
+
+// Tree is a Fenwick tree over indices [0, n). The zero value is unusable;
+// construct with New.
+type Tree struct {
+	a []int64
+}
+
+// New returns a tree of size n with all counts zero.
+func New(n int) *Tree {
+	if n < 0 {
+		panic("fenwick: negative size")
+	}
+	return &Tree{a: make([]int64, n+1)}
+}
+
+// Len returns the index capacity of the tree.
+func (t *Tree) Len() int { return len(t.a) - 1 }
+
+// Add adds delta to index i.
+func (t *Tree) Add(i int, delta int64) {
+	if i < 0 || i >= t.Len() {
+		panic("fenwick: index out of range")
+	}
+	for i++; i < len(t.a); i += i & -i {
+		t.a[i] += delta
+	}
+}
+
+// PrefixSum returns the sum of indices [0, i]. PrefixSum(-1) is 0.
+func (t *Tree) PrefixSum(i int) int64 {
+	if i >= t.Len() {
+		i = t.Len() - 1
+	}
+	var s int64
+	for i++; i > 0; i -= i & -i {
+		s += t.a[i]
+	}
+	return s
+}
+
+// RangeSum returns the sum of indices [lo, hi]. Returns 0 if lo > hi.
+func (t *Tree) RangeSum(lo, hi int) int64 {
+	if lo > hi {
+		return 0
+	}
+	if lo <= 0 {
+		return t.PrefixSum(hi)
+	}
+	return t.PrefixSum(hi) - t.PrefixSum(lo-1)
+}
+
+// Total returns the sum over all indices.
+func (t *Tree) Total() int64 { return t.PrefixSum(t.Len() - 1) }
+
+// FindKth returns the smallest index i such that PrefixSum(i) >= k, or
+// Len() if the total is < k. k must be >= 1. This supports order-statistic
+// queries over the tree in O(log n).
+func (t *Tree) FindKth(k int64) int {
+	if k <= 0 {
+		panic("fenwick: k must be >= 1")
+	}
+	pos := 0
+	// Highest power of two <= len.
+	bit := 1
+	for bit<<1 <= t.Len() {
+		bit <<= 1
+	}
+	rem := k
+	for ; bit > 0; bit >>= 1 {
+		next := pos + bit
+		if next < len(t.a) && t.a[next] < rem {
+			pos = next
+			rem -= t.a[next]
+		}
+	}
+	return pos // pos is 0-based index of the k-th element
+}
+
+// Reset zeroes all counts, retaining capacity.
+func (t *Tree) Reset() {
+	for i := range t.a {
+		t.a[i] = 0
+	}
+}

@@ -1,0 +1,139 @@
+// Package lrusim implements the paper's extended LRU list (Section IV-B):
+// an LRU stack that keeps both resident pages and recently replaced
+// ("ghost") pages, and reports the LRU stack depth of every reference.
+// The depth stream is what lets the joint power manager predict, without
+// re-running the workload, how many disk accesses would occur at any
+// candidate memory size — a reference at depth d hits in memory iff the
+// resident capacity is at least d pages (Mattson's inclusion property).
+//
+// Reference is O(log n) via a Fenwick tree over last-access positions; a
+// naive O(n) list-walk implementation is included for differential
+// testing and for the ablation benchmark.
+package lrusim
+
+import "jointpm/internal/fenwick"
+
+// Cold is the depth reported for a page's first reference (or a reference
+// to a page already pushed out of the tracked ghost region). Such
+// references are compulsory disk accesses at every memory size.
+const Cold = -1
+
+// StackSim tracks LRU stack depths over a page reference stream.
+type StackSim struct {
+	maxTracked int // resident + ghost capacity, in pages
+
+	posOf   map[int64]int // page -> position (higher = more recent)
+	pageAt  []int64       // position -> page, -1 when dead
+	live    *fenwick.Tree // 1 at each live position
+	nextPos int
+	count   int
+
+	refs  int64 // total references
+	colds int64 // cold references
+}
+
+// NewStackSim returns a simulator that tracks at most maxTracked pages
+// (resident plus ghost). References deeper than that report Cold.
+func NewStackSim(maxTracked int) *StackSim {
+	if maxTracked <= 0 {
+		panic("lrusim: maxTracked must be positive")
+	}
+	capacity := 2 * maxTracked
+	if capacity < 1024 {
+		capacity = 1024
+	}
+	return &StackSim{
+		maxTracked: maxTracked,
+		posOf:      make(map[int64]int, maxTracked),
+		pageAt:     newPageAt(capacity),
+		live:       fenwick.New(capacity),
+	}
+}
+
+func newPageAt(n int) []int64 {
+	a := make([]int64, n)
+	for i := range a {
+		a[i] = -1
+	}
+	return a
+}
+
+// Reference records an access to page and returns its LRU stack depth
+// before the access (1 = it was the most recently used page). It returns
+// Cold for pages not currently tracked. The page becomes the MRU entry.
+func (s *StackSim) Reference(page int64) int {
+	s.refs++
+	if s.nextPos == len(s.pageAt) {
+		s.compact()
+	}
+	depth := Cold
+	if old, ok := s.posOf[page]; ok {
+		// Depth = pages referenced more recently than this one, plus one.
+		depth = int(s.live.RangeSum(old+1, s.nextPos-1)) + 1
+		s.live.Add(old, -1)
+		s.pageAt[old] = -1
+		s.count--
+	} else {
+		s.colds++
+	}
+	s.posOf[page] = s.nextPos
+	s.pageAt[s.nextPos] = page
+	s.live.Add(s.nextPos, 1)
+	s.nextPos++
+	s.count++
+	if s.count > s.maxTracked {
+		s.evictOldest()
+	}
+	return depth
+}
+
+// evictOldest drops the least recently used tracked page (the bottom of
+// the ghost region).
+func (s *StackSim) evictOldest() {
+	pos := s.live.FindKth(1)
+	page := s.pageAt[pos]
+	s.live.Add(pos, -1)
+	s.pageAt[pos] = -1
+	delete(s.posOf, page)
+	s.count--
+}
+
+// compact renumbers live pages to positions 0..count-1, preserving order,
+// and resets the Fenwick tree. Amortised O(1) per reference.
+func (s *StackSim) compact() {
+	newAt := newPageAt(len(s.pageAt))
+	n := 0
+	for _, page := range s.pageAt {
+		if page >= 0 {
+			newAt[n] = page
+			s.posOf[page] = n
+			n++
+		}
+	}
+	s.pageAt = newAt
+	s.live.Reset()
+	for i := 0; i < n; i++ {
+		s.live.Add(i, 1)
+	}
+	s.nextPos = n
+}
+
+// Len returns the number of tracked pages (resident + ghost).
+func (s *StackSim) Len() int { return s.count }
+
+// Refs returns the total number of references seen.
+func (s *StackSim) Refs() int64 { return s.refs }
+
+// Colds returns the number of cold (untracked) references seen.
+func (s *StackSim) Colds() int64 { return s.colds }
+
+// DropDeepest removes tracked pages deeper than keep, modelling a memory
+// shrink in which both resident and ghost history beyond the new tracked
+// window are forgotten. It is not used by the joint manager (which keeps
+// the ghost region across resizes precisely so growth can be predicted)
+// but supports policies that truly discard state.
+func (s *StackSim) DropDeepest(keep int) {
+	for s.count > keep {
+		s.evictOldest()
+	}
+}

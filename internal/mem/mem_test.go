@@ -1,0 +1,245 @@
+package mem
+
+import (
+	"math"
+	"testing"
+
+	"jointpm/internal/simtime"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestRDRAMConstants(t *testing.T) {
+	s := RDRAM(16 * simtime.MB)
+	// Paper: 0.656 mW/MB static.
+	if !almost(float64(s.NapPowerPerMB), 0.656e-3, 1e-6) {
+		t.Errorf("nap/MB = %v", s.NapPowerPerMB)
+	}
+	// 16 MB bank naps at 10.5 mW.
+	if !almost(float64(s.NapPower()), 10.5e-3, 1e-6) {
+		t.Errorf("bank nap = %v", s.NapPower())
+	}
+	// Power-down ≈ 3.5 mW per 16 MB bank.
+	if !almost(float64(s.PDPower()), 3.5e-3, 1e-6) {
+		t.Errorf("bank PD = %v", s.PDPower())
+	}
+	// Dynamic ≈ 0.809 mJ/MB.
+	if !almost(float64(s.DynamicPerMB), 0.809e-3, 1e-5) {
+		t.Errorf("dynamic/MB = %v", s.DynamicPerMB)
+	}
+	// Timeouts from the paper.
+	if !almost(float64(s.PDTimeout), 129e-6, 1e-6) {
+		t.Errorf("PD timeout = %v", s.PDTimeout)
+	}
+	if s.DisableTimeout != 732 {
+		t.Errorf("disable timeout = %v", s.DisableTimeout)
+	}
+}
+
+func TestDynamicEnergy(t *testing.T) {
+	s := RDRAM(16 * simtime.MB)
+	got := s.DynamicEnergy(2 * simtime.MB)
+	if !almost(float64(got), 2*float64(s.DynamicPerMB), 1e-12) {
+		t.Errorf("DynamicEnergy = %v", got)
+	}
+}
+
+func TestAlwaysNapStaticEnergy(t *testing.T) {
+	spec := RDRAM(16 * simtime.MB)
+	m := New(spec, 4, AlwaysNap)
+	m.FinishTo(1000)
+	want := 4 * float64(spec.NapPower()) * 1000
+	if got := m.Energy().Static; !almost(float64(got), want, 1e-9) {
+		t.Errorf("static = %v, want %g", got, want)
+	}
+	if m.Energy().Dynamic != 0 || m.Energy().Transition != 0 {
+		t.Error("unexpected dynamic/transition energy")
+	}
+}
+
+func TestSetEnabledBanks(t *testing.T) {
+	spec := RDRAM(16 * simtime.MB)
+	m := New(spec, 4, AlwaysNap)
+	m.SetEnabledBanks(100, 1) // disable banks 1..3 at t=100
+	m.FinishTo(200)
+	if m.EnabledBanks() != 1 {
+		t.Fatalf("enabled = %d", m.EnabledBanks())
+	}
+	// 4 banks × 100 s + 1 bank × 100 s.
+	want := float64(spec.NapPower()) * (4*100 + 1*100)
+	if got := m.Energy().Static; !almost(float64(got), want, 1e-9) {
+		t.Errorf("static = %v, want %g", got, want)
+	}
+	// Re-enabling restarts metering.
+	m.SetEnabledBanks(200, 4)
+	m.FinishTo(300)
+	want += float64(spec.NapPower()) * 4 * 100
+	if got := m.Energy().Static; !almost(float64(got), want, 1e-9) {
+		t.Errorf("static after grow = %v, want %g", got, want)
+	}
+}
+
+func TestSetEnabledBanksClamps(t *testing.T) {
+	m := New(RDRAM(16*simtime.MB), 4, AlwaysNap)
+	m.SetEnabledBanks(0, 0)
+	if m.EnabledBanks() != 1 {
+		t.Errorf("floor: enabled = %d, want 1", m.EnabledBanks())
+	}
+	m.SetEnabledBanks(0, 99)
+	if m.EnabledBanks() != 4 {
+		t.Errorf("ceiling: enabled = %d, want 4", m.EnabledBanks())
+	}
+}
+
+func TestPowerDownProfile(t *testing.T) {
+	spec := RDRAM(16 * simtime.MB)
+	m := New(spec, 1, TimeoutPowerDown)
+	// Touch at t=0, settle at t = PDTimeout + 1s: the bank naps for the
+	// timeout then powers down for the rest.
+	m.Touch(0, 0)
+	end := simtime.Seconds(1) + spec.PDTimeout
+	m.FinishTo(end)
+	nap := float64(spec.NapPower()) * float64(spec.PDTimeout)
+	pd := float64(spec.PDPower()) * 1
+	if got := m.Energy().Static; !almost(float64(got), nap+pd, 1e-12) {
+		t.Errorf("static = %v, want %g", got, nap+pd)
+	}
+}
+
+func TestPowerDownExitTransition(t *testing.T) {
+	spec := RDRAM(16 * simtime.MB)
+	m := New(spec, 1, TimeoutPowerDown)
+	m.Touch(0, 0)
+	m.Touch(0, 1) // gap of 1 s > 129 µs → the bank was in PD, pays an exit
+	e := m.Energy()
+	if !almost(float64(e.Transition), float64(spec.PDExitEnergy), 1e-12) {
+		t.Errorf("transition = %v, want %v", e.Transition, spec.PDExitEnergy)
+	}
+	// A short gap pays nothing.
+	m.Touch(0, 1.00001)
+	if got := m.Energy().Transition; !almost(float64(got), float64(spec.PDExitEnergy), 1e-12) {
+		t.Errorf("short gap charged a transition: %v", got)
+	}
+}
+
+func TestPowerDownBeatsNapOnLongIdle(t *testing.T) {
+	spec := RDRAM(16 * simtime.MB)
+	napM := New(spec, 1, AlwaysNap)
+	pdM := New(spec, 1, TimeoutPowerDown)
+	napM.Touch(0, 0)
+	pdM.Touch(0, 0)
+	napM.FinishTo(3600)
+	pdM.FinishTo(3600)
+	if pdM.Energy().Total() >= napM.Energy().Total() {
+		t.Errorf("PD %v not below nap %v over an hour idle",
+			pdM.Energy().Total(), napM.Energy().Total())
+	}
+}
+
+func TestDisableProfileAndSweep(t *testing.T) {
+	spec := RDRAM(16 * simtime.MB)
+	m := New(spec, 2, TimeoutDisable)
+	m.Touch(0, 0)
+	m.Touch(1, 0)
+	// Bank 1 is not touched again; at t = DisableTimeout + 100 it has
+	// been disabled (energy-wise) since the timeout.
+	end := spec.DisableTimeout + 100
+	if _, dead := m.IdleDisabledAt(1, end); !dead {
+		t.Fatal("bank 1 should have expired")
+	}
+	expired := m.SweepIdleDisabled(end)
+	if len(expired) != 2 { // both banks idle since 0
+		t.Fatalf("sweep found %v", expired)
+	}
+	for _, b := range expired {
+		m.MarkIdleDisabled(b, end)
+	}
+	if m.EnabledBanks() != 0 {
+		t.Fatalf("enabled = %d", m.EnabledBanks())
+	}
+	m.FinishTo(end + 1000)
+	// Static energy: both banks nap for the timeout, nothing after.
+	want := 2 * float64(spec.NapPower()) * float64(spec.DisableTimeout)
+	if got := m.Energy().Static; !almost(float64(got), want, 1e-6) {
+		t.Errorf("static = %v, want %g", got, want)
+	}
+}
+
+func TestDisabledBankReEnablesOnTouch(t *testing.T) {
+	spec := RDRAM(16 * simtime.MB)
+	m := New(spec, 1, TimeoutDisable)
+	m.Touch(0, 0)
+	end := spec.DisableTimeout + 10
+	m.MarkIdleDisabled(0, end)
+	if m.EnabledBanks() != 0 {
+		t.Fatal("not disabled")
+	}
+	m.Touch(0, end+5)
+	if m.EnabledBanks() != 1 {
+		t.Fatal("touch did not re-enable")
+	}
+	if _, dead := m.IdleDisabledAt(0, end+6); dead {
+		t.Fatal("freshly touched bank reported dead")
+	}
+}
+
+func TestIdleDisabledAtOnlyForDisablePolicy(t *testing.T) {
+	m := New(RDRAM(16*simtime.MB), 1, AlwaysNap)
+	if _, dead := m.IdleDisabledAt(0, 1e9); dead {
+		t.Error("nap policy reported disabled bank")
+	}
+	if got := m.SweepIdleDisabled(1e9); got != nil {
+		t.Error("nap policy swept banks")
+	}
+}
+
+func TestAddDynamic(t *testing.T) {
+	spec := RDRAM(16 * simtime.MB)
+	m := New(spec, 1, AlwaysNap)
+	m.AddDynamic(simtime.MB)
+	m.AddDynamic(simtime.MB)
+	want := 2 * float64(spec.DynamicPerMB)
+	if got := m.Energy().Dynamic; !almost(float64(got), want, 1e-12) {
+		t.Errorf("dynamic = %v", got)
+	}
+}
+
+func TestEnergySubAndTotal(t *testing.T) {
+	a := Energy{Static: 10, Dynamic: 5, Transition: 1}
+	b := Energy{Static: 4, Dynamic: 2, Transition: 1}
+	d := a.Sub(b)
+	if d.Static != 6 || d.Dynamic != 3 || d.Transition != 0 {
+		t.Errorf("Sub = %+v", d)
+	}
+	if a.Total() != 16 {
+		t.Errorf("Total = %v", a.Total())
+	}
+}
+
+func TestSettleIsIdempotent(t *testing.T) {
+	spec := RDRAM(16 * simtime.MB)
+	m := New(spec, 1, AlwaysNap)
+	m.FinishTo(100)
+	e1 := m.Energy().Static
+	m.FinishTo(100)
+	m.FinishTo(50) // going backwards must not subtract
+	if got := m.Energy().Static; got != e1 {
+		t.Errorf("settle not idempotent: %v vs %v", got, e1)
+	}
+}
+
+func TestPanicsOnZeroBanks(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(RDRAM(16*simtime.MB), 0, AlwaysNap)
+}
+
+func TestBankPolicyString(t *testing.T) {
+	if AlwaysNap.String() != "nap" || TimeoutPowerDown.String() != "power-down" ||
+		TimeoutDisable.String() != "disable" || BankPolicy(9).String() != "unknown" {
+		t.Error("String() mismatch")
+	}
+}

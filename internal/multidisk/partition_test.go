@@ -1,0 +1,135 @@
+package multidisk
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSizeGrid(t *testing.T) {
+	g := sizeGrid(128, 10)
+	if g[0] != 1 || g[len(g)-1] != 128 {
+		t.Fatalf("grid ends: %v", g)
+	}
+	for i := 1; i < len(g); i++ {
+		if g[i] <= g[i-1] {
+			t.Fatalf("grid not increasing: %v", g)
+		}
+	}
+	// Degenerate budgets still produce a usable grid.
+	if g := sizeGrid(1, 10); len(g) != 1 || g[0] != 1 {
+		t.Errorf("budget-1 grid: %v", g)
+	}
+}
+
+func TestChoosePartitionsKnapsack(t *testing.T) {
+	// Two disks, sizes {1, 2, 4}; disk 0 loves memory, disk 1 is
+	// indifferent. Budget 5 → disk 0 should get 4, disk 1 gets 1.
+	sizes := []int{1, 2, 4}
+	costs := [][]float64{
+		{10, 6, 1}, // strong gains from size
+		{3, 3, 3},  // flat
+	}
+	alloc := choosePartitions(costs, sizes, 5)
+	if alloc[0] != 4 || alloc[1] != 1 {
+		t.Fatalf("alloc = %v, want [4 1]", alloc)
+	}
+	// Budget allows both to max out.
+	alloc = choosePartitions(costs, sizes, 8)
+	if alloc[0] != 4 {
+		t.Fatalf("alloc = %v, want disk0 at 4", alloc)
+	}
+	// Infeasible budget degrades to minimum sizes.
+	alloc = choosePartitions(costs, sizes, 1)
+	if len(alloc) != 2 || alloc[0] != 1 {
+		t.Fatalf("infeasible alloc = %v", alloc)
+	}
+	if choosePartitions(nil, sizes, 4) != nil {
+		t.Error("empty costs should yield nil")
+	}
+}
+
+func TestChoosePartitionsRespectsBudget(t *testing.T) {
+	sizes := []int{1, 3, 9, 27}
+	costs := make([][]float64, 5)
+	for d := range costs {
+		costs[d] = []float64{9, 3, 1, 0.3} // everyone wants more
+	}
+	for _, budget := range []int{5, 20, 50, 135} {
+		alloc := choosePartitions(costs, sizes, budget)
+		sum := 0
+		for _, a := range alloc {
+			sum += a
+		}
+		if sum > budget && budget >= len(costs) {
+			t.Errorf("budget %d exceeded: %v", budget, alloc)
+		}
+	}
+}
+
+func TestPartitionedRun(t *testing.T) {
+	tr := arrayWorkload(t, 11)
+	cfg := arrayConfig(tr, 4, HotCold, Partitioned)
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Method != Partitioned {
+		t.Fatal("method lost")
+	}
+	if len(res.Partitions) != 4 {
+		t.Fatalf("partitions = %v", res.Partitions)
+	}
+	sum := 0
+	for _, p := range res.Partitions {
+		if p < 1 {
+			t.Fatalf("empty partition: %v", res.Partitions)
+		}
+		sum += p
+	}
+	if sum > 128 {
+		t.Fatalf("partitions exceed installed banks: %v", res.Partitions)
+	}
+	// Memory stays fully powered (PB-LRU partitions a fixed total).
+	if res.Banks != 128 {
+		t.Errorf("banks = %d, want all 128", res.Banks)
+	}
+	if res.CacheAccesses == 0 || res.DiskAccesses == 0 {
+		t.Fatal("no traffic")
+	}
+}
+
+func TestPartitionedFavoursHotDisk(t *testing.T) {
+	tr := arrayWorkload(t, 12)
+	cfg := arrayConfig(tr, 4, HotCold, Partitioned)
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Under the hot-cold layout disk 0 carries ~90% of the traffic; its
+	// partition should be at least as large as the smallest cold one.
+	hot := res.Partitions[0]
+	minCold := math.MaxInt32
+	for _, p := range res.Partitions[1:] {
+		if p < minCold {
+			minCold = p
+		}
+	}
+	if hot < minCold {
+		t.Errorf("hot disk got %d banks, a cold disk got %d", hot, minCold)
+	}
+}
+
+func TestPartitionedVsStripedEnergy(t *testing.T) {
+	// Sanity: partitioned runs produce comparable totals and valid
+	// latency under both layouts.
+	tr := arrayWorkload(t, 13)
+	for _, l := range []Layout{Striped, HotCold} {
+		res, err := Run(arrayConfig(tr, 4, l, Partitioned))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.TotalEnergy() <= 0 || res.MeanLatency() < 0 {
+			t.Errorf("%v: degenerate result", l)
+		}
+	}
+}

@@ -1,0 +1,224 @@
+// Package pareto implements the Pareto distribution used by the joint
+// power manager to model disk idle-interval lengths (paper Section IV-C):
+//
+//	f(ℓ) = α β^α / ℓ^(α+1),  ℓ > β, α > 1
+//
+// It provides density/CDF/quantile evaluation, deterministic sampling,
+// and the two parameter estimators the paper's runtime needs: the
+// method-of-moments estimator actually used by the joint manager
+// (α = mean / (mean − β)) and a maximum-likelihood estimator for
+// validation. It also exposes the closed-form quantities the energy model
+// depends on: the expected off time per interval and the probability of
+// an interval exceeding the timeout.
+package pareto
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Dist is a Pareto distribution with shape Alpha and scale (minimum) Beta.
+type Dist struct {
+	Alpha float64 // shape; heavier tail as Alpha -> 1
+	Beta  float64 // scale; the shortest possible interval
+}
+
+// ErrDegenerate reports that a sample cannot support a Pareto fit (empty,
+// or mean not exceeding the scale).
+var ErrDegenerate = errors.New("pareto: degenerate sample")
+
+// Valid reports whether the parameters define a proper distribution with
+// finite mean (α > 1, β > 0).
+func (d Dist) Valid() bool {
+	return d.Alpha > 1 && d.Beta > 0 && !math.IsInf(d.Alpha, 0) && !math.IsNaN(d.Alpha)
+}
+
+// PDF evaluates the density at x.
+func (d Dist) PDF(x float64) float64 {
+	if x < d.Beta {
+		return 0
+	}
+	return d.Alpha * math.Pow(d.Beta, d.Alpha) / math.Pow(x, d.Alpha+1)
+}
+
+// CDF evaluates P(ℓ ≤ x).
+func (d Dist) CDF(x float64) float64 {
+	if x < d.Beta {
+		return 0
+	}
+	return 1 - math.Pow(d.Beta/x, d.Alpha)
+}
+
+// Tail evaluates the survival function P(ℓ > x) = (β/x)^α for x ≥ β.
+// This is the probability that an idle interval outlives a timeout x —
+// the integral ∫_x^∞ f dℓ in eqs. (3) and (6) of the paper.
+func (d Dist) Tail(x float64) float64 {
+	if x <= d.Beta {
+		return 1
+	}
+	return math.Pow(d.Beta/x, d.Alpha)
+}
+
+// Quantile returns the value x with CDF(x) = p, for p in [0, 1).
+func (d Dist) Quantile(p float64) float64 {
+	if p <= 0 {
+		return d.Beta
+	}
+	if p >= 1 {
+		return math.Inf(1)
+	}
+	return d.Beta * math.Pow(1-p, -1/d.Alpha)
+}
+
+// Mean returns E[ℓ] = αβ/(α−1); +Inf when α ≤ 1.
+func (d Dist) Mean() float64 {
+	if d.Alpha <= 1 {
+		return math.Inf(1)
+	}
+	return d.Alpha * d.Beta / (d.Alpha - 1)
+}
+
+// Var returns the variance; +Inf when α ≤ 2.
+func (d Dist) Var() float64 {
+	if d.Alpha <= 2 {
+		return math.Inf(1)
+	}
+	a := d.Alpha
+	return d.Beta * d.Beta * a / ((a - 1) * (a - 1) * (a - 2))
+}
+
+// ExpectedOffTime returns E[(ℓ − t)⁺] = (β/t)^(α−1) · β/(α−1) for t ≥ β:
+// the expected time per idle interval during which a disk with timeout t
+// is off. This is the per-interval factor in eq. (2) of the paper.
+func (d Dist) ExpectedOffTime(t float64) float64 {
+	if !d.Valid() {
+		return 0
+	}
+	if t < d.Beta {
+		// The disk times out before the shortest interval ends; every
+		// interval contributes its full expected excess over t.
+		return d.Mean() - t
+	}
+	return math.Pow(d.Beta/t, d.Alpha-1) * d.Beta / (d.Alpha - 1)
+}
+
+// Sampler draws deterministic Pareto variates via inverse transform.
+// The source must return uniforms in [0, 1).
+type Sampler struct {
+	Dist
+	Uniform func() float64
+}
+
+// Next draws one variate.
+func (s Sampler) Next() float64 {
+	u := s.Uniform()
+	for u >= 1 || u < 0 {
+		u = s.Uniform()
+	}
+	return s.Quantile(u)
+}
+
+// FitMoments estimates a Pareto distribution the way the paper's runtime
+// does: β is taken as the smallest observation (or the supplied floor,
+// whichever is larger — the aggregation window guarantees a floor), and
+// α = mean / (mean − β), derived from E[ℓ] = αβ/(α−1).
+//
+// The returned distribution is clamped to α in [minAlpha, maxAlpha] so a
+// pathological sample (e.g. all intervals nearly equal, driving α → ∞)
+// still yields a usable timeout.
+func FitMoments(sample []float64, betaFloor float64) (Dist, error) {
+	if len(sample) == 0 {
+		return Dist{}, fmt.Errorf("%w: empty sample", ErrDegenerate)
+	}
+	minV := sample[0]
+	sum := 0.0
+	for _, x := range sample {
+		if x < minV {
+			minV = x
+		}
+		sum += x
+	}
+	beta := minV
+	if betaFloor > beta {
+		beta = betaFloor
+	}
+	mean := sum / float64(len(sample))
+	if mean <= beta {
+		return Dist{}, fmt.Errorf("%w: mean %.4g <= beta %.4g", ErrDegenerate, mean, beta)
+	}
+	alpha := mean / (mean - beta)
+	return clampAlpha(Dist{Alpha: alpha, Beta: beta}), nil
+}
+
+// FitMLE estimates parameters by maximum likelihood: β̂ = min(x),
+// α̂ = n / Σ ln(x_i/β̂). Used in tests and the paretofit example to
+// cross-check the moments estimator.
+func FitMLE(sample []float64) (Dist, error) {
+	if len(sample) == 0 {
+		return Dist{}, fmt.Errorf("%w: empty sample", ErrDegenerate)
+	}
+	beta := sample[0]
+	for _, x := range sample {
+		if x < beta {
+			beta = x
+		}
+	}
+	if beta <= 0 {
+		return Dist{}, fmt.Errorf("%w: non-positive minimum", ErrDegenerate)
+	}
+	var logSum float64
+	for _, x := range sample {
+		logSum += math.Log(x / beta)
+	}
+	if logSum <= 0 {
+		return Dist{}, fmt.Errorf("%w: zero log-spread", ErrDegenerate)
+	}
+	alpha := float64(len(sample)) / logSum
+	return clampAlpha(Dist{Alpha: alpha, Beta: beta}), nil
+}
+
+// Clamp bounds applied by the fitters. MinAlpha stays above 1 so the mean
+// is finite; MaxAlpha bounds the optimal timeout α·t_be to a sane multiple
+// of the break-even time.
+const (
+	MinAlpha = 1.05
+	MaxAlpha = 64
+)
+
+func clampAlpha(d Dist) Dist {
+	if d.Alpha < MinAlpha {
+		d.Alpha = MinAlpha
+	}
+	if d.Alpha > MaxAlpha || math.IsNaN(d.Alpha) {
+		d.Alpha = MaxAlpha
+	}
+	return d
+}
+
+// KSDistance returns the Kolmogorov–Smirnov statistic between the
+// distribution and an empirical sample. The sample is not modified; a
+// sorted copy is used internally. Tests use this to verify the fitters.
+func (d Dist) KSDistance(sample []float64) float64 {
+	if len(sample) == 0 {
+		return 0
+	}
+	s := make([]float64, len(sample))
+	copy(s, sample)
+	sort.Float64s(s)
+	n := float64(len(s))
+	maxD := 0.0
+	for i, x := range s {
+		f := d.CDF(x)
+		lo := float64(i) / n
+		hi := float64(i+1) / n
+		if v := math.Abs(f - lo); v > maxD {
+			maxD = v
+		}
+		if v := math.Abs(f - hi); v > maxD {
+			maxD = v
+		}
+	}
+	return maxD
+}

@@ -1,0 +1,266 @@
+package pareto
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"jointpm/internal/stats"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestPDFCDFBasics(t *testing.T) {
+	d := Dist{Alpha: 2, Beta: 1}
+	if got := d.PDF(0.5); got != 0 {
+		t.Errorf("PDF below beta = %g", got)
+	}
+	if got := d.PDF(1); !almost(got, 2, 1e-12) {
+		t.Errorf("PDF(beta) = %g, want alpha/beta = 2", got)
+	}
+	if got := d.CDF(0.5); got != 0 {
+		t.Errorf("CDF below beta = %g", got)
+	}
+	if got := d.CDF(2); !almost(got, 0.75, 1e-12) {
+		t.Errorf("CDF(2) = %g, want 0.75", got)
+	}
+	if got := d.Tail(2); !almost(got, 0.25, 1e-12) {
+		t.Errorf("Tail(2) = %g, want 0.25", got)
+	}
+	if got := d.Tail(0.2); got != 1 {
+		t.Errorf("Tail below beta = %g, want 1", got)
+	}
+}
+
+func TestQuantileInvertsCDF(t *testing.T) {
+	d := Dist{Alpha: 1.7, Beta: 0.3}
+	for _, p := range []float64{0, 0.1, 0.5, 0.9, 0.999} {
+		x := d.Quantile(p)
+		if got := d.CDF(x); !almost(got, p, 1e-9) {
+			t.Errorf("CDF(Quantile(%g)) = %g", p, got)
+		}
+	}
+	if !math.IsInf(d.Quantile(1), 1) {
+		t.Error("Quantile(1) should be +Inf")
+	}
+}
+
+func TestMeanVar(t *testing.T) {
+	d := Dist{Alpha: 3, Beta: 2}
+	if got := d.Mean(); !almost(got, 3, 1e-12) {
+		t.Errorf("Mean = %g, want 3", got)
+	}
+	if got := d.Var(); !almost(got, 3, 1e-12) {
+		t.Errorf("Var = %g, want 3", got)
+	}
+	if !math.IsInf((Dist{Alpha: 1, Beta: 1}).Mean(), 1) {
+		t.Error("Mean at alpha=1 should be +Inf")
+	}
+	if !math.IsInf((Dist{Alpha: 2, Beta: 1}).Var(), 1) {
+		t.Error("Var at alpha=2 should be +Inf")
+	}
+}
+
+func TestExpectedOffTime(t *testing.T) {
+	d := Dist{Alpha: 2, Beta: 10}
+	// Closed form: (beta/t)^(alpha-1) * beta/(alpha-1) = (10/t)*10.
+	if got := d.ExpectedOffTime(20); !almost(got, 5, 1e-12) {
+		t.Errorf("ExpectedOffTime(20) = %g, want 5", got)
+	}
+	// At t = beta the expected off time equals mean − beta.
+	if got := d.ExpectedOffTime(10); !almost(got, d.Mean()-10, 1e-12) {
+		t.Errorf("ExpectedOffTime(beta) = %g, want %g", got, d.Mean()-10)
+	}
+	// Below beta the disk always outlives the timeout.
+	if got := d.ExpectedOffTime(4); !almost(got, d.Mean()-4, 1e-12) {
+		t.Errorf("ExpectedOffTime(4) = %g, want %g", got, d.Mean()-4)
+	}
+	// Monotone decreasing in t.
+	prev := math.Inf(1)
+	for _, tt := range []float64{10, 15, 20, 50, 200} {
+		v := d.ExpectedOffTime(tt)
+		if v > prev {
+			t.Errorf("ExpectedOffTime not monotone at %g", tt)
+		}
+		prev = v
+	}
+}
+
+// Property: ExpectedOffTime from the closed form matches Monte Carlo.
+func TestExpectedOffTimeMonteCarlo(t *testing.T) {
+	d := Dist{Alpha: 1.8, Beta: 2}
+	rng := stats.NewRNG(99)
+	s := Sampler{Dist: d, Uniform: rng.Float64}
+	const n = 400000
+	timeout := 6.0
+	var sum float64
+	for i := 0; i < n; i++ {
+		v := s.Next()
+		if v > timeout {
+			sum += v - timeout
+		}
+	}
+	mc := sum / n
+	cf := d.ExpectedOffTime(timeout)
+	if math.Abs(mc-cf)/cf > 0.05 {
+		t.Errorf("MonteCarlo %g vs closed form %g", mc, cf)
+	}
+}
+
+func TestSamplerRespectsBeta(t *testing.T) {
+	d := Dist{Alpha: 1.5, Beta: 3}
+	rng := stats.NewRNG(1)
+	s := Sampler{Dist: d, Uniform: rng.Float64}
+	for i := 0; i < 10000; i++ {
+		if v := s.Next(); v < d.Beta {
+			t.Fatalf("sample %g below beta", v)
+		}
+	}
+}
+
+func TestFitMomentsRecovers(t *testing.T) {
+	// Moments estimation is exact in expectation for alpha from the mean.
+	d := Dist{Alpha: 2.5, Beta: 1}
+	rng := stats.NewRNG(5)
+	s := Sampler{Dist: d, Uniform: rng.Float64}
+	sample := make([]float64, 200000)
+	for i := range sample {
+		sample[i] = s.Next()
+	}
+	fit, err := FitMoments(sample, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(fit.Beta, 1, 0.01) {
+		t.Errorf("fit beta = %g, want ~1", fit.Beta)
+	}
+	if math.Abs(fit.Alpha-2.5) > 0.15 {
+		t.Errorf("fit alpha = %g, want ~2.5", fit.Alpha)
+	}
+}
+
+func TestFitMLERecovers(t *testing.T) {
+	d := Dist{Alpha: 3, Beta: 0.5}
+	rng := stats.NewRNG(8)
+	s := Sampler{Dist: d, Uniform: rng.Float64}
+	sample := make([]float64, 100000)
+	for i := range sample {
+		sample[i] = s.Next()
+	}
+	fit, err := FitMLE(sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.Alpha-3) > 0.1 {
+		t.Errorf("MLE alpha = %g, want ~3", fit.Alpha)
+	}
+	if !almost(fit.Beta, 0.5, 0.01) {
+		t.Errorf("MLE beta = %g, want ~0.5", fit.Beta)
+	}
+}
+
+func TestFitBetaFloor(t *testing.T) {
+	sample := []float64{0.05, 0.2, 0.4, 3}
+	fit, err := FitMoments(sample, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fit.Beta != 0.1 {
+		t.Errorf("beta = %g, want the floor 0.1", fit.Beta)
+	}
+}
+
+func TestFitDegenerate(t *testing.T) {
+	if _, err := FitMoments(nil, 0); !errors.Is(err, ErrDegenerate) {
+		t.Errorf("empty sample: err = %v", err)
+	}
+	// All values at or below the floor → mean ≤ beta.
+	if _, err := FitMoments([]float64{1, 1, 1}, 2); !errors.Is(err, ErrDegenerate) {
+		t.Errorf("floored sample: err = %v", err)
+	}
+	if _, err := FitMLE(nil); !errors.Is(err, ErrDegenerate) {
+		t.Errorf("empty MLE: err = %v", err)
+	}
+	if _, err := FitMLE([]float64{-1, 2}); !errors.Is(err, ErrDegenerate) {
+		t.Errorf("negative MLE: err = %v", err)
+	}
+	if _, err := FitMLE([]float64{2, 2, 2}); !errors.Is(err, ErrDegenerate) {
+		t.Errorf("constant MLE: err = %v", err)
+	}
+}
+
+func TestFitClamps(t *testing.T) {
+	// Nearly constant sample → enormous alpha, clamped to MaxAlpha.
+	sample := []float64{1, 1.0000001, 1.0000002}
+	fit, err := FitMoments(sample, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fit.Alpha != MaxAlpha {
+		t.Errorf("alpha = %g, want clamp %g", fit.Alpha, float64(MaxAlpha))
+	}
+	// Extremely heavy tail → alpha below 1, clamped to MinAlpha.
+	heavy := []float64{1, 1, 1, 1, 1e9}
+	fit2, err := FitMoments(heavy, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fit2.Alpha != MinAlpha {
+		t.Errorf("alpha = %g, want clamp %g", fit2.Alpha, float64(MinAlpha))
+	}
+}
+
+func TestKSDistance(t *testing.T) {
+	d := Dist{Alpha: 2, Beta: 1}
+	rng := stats.NewRNG(17)
+	s := Sampler{Dist: d, Uniform: rng.Float64}
+	sample := make([]float64, 20000)
+	for i := range sample {
+		sample[i] = s.Next()
+	}
+	if ks := d.KSDistance(sample); ks > 0.02 {
+		t.Errorf("KS distance of own sample = %g", ks)
+	}
+	other := Dist{Alpha: 1.2, Beta: 1}
+	if ks := other.KSDistance(sample); ks < 0.1 {
+		t.Errorf("KS distance of wrong model = %g, want large", ks)
+	}
+	if ks := d.KSDistance(nil); ks != 0 {
+		t.Errorf("KS of empty sample = %g", ks)
+	}
+}
+
+func TestValid(t *testing.T) {
+	tests := []struct {
+		d    Dist
+		want bool
+	}{
+		{Dist{Alpha: 2, Beta: 1}, true},
+		{Dist{Alpha: 1, Beta: 1}, false},
+		{Dist{Alpha: 2, Beta: 0}, false},
+		{Dist{Alpha: math.Inf(1), Beta: 1}, false},
+		{Dist{Alpha: math.NaN(), Beta: 1}, false},
+	}
+	for _, tt := range tests {
+		if got := tt.d.Valid(); got != tt.want {
+			t.Errorf("Valid(%+v) = %v", tt.d, got)
+		}
+	}
+}
+
+// Property: for random valid parameters, CDF is monotone and Tail+CDF=1.
+func TestQuickCDFProperties(t *testing.T) {
+	f := func(a8, b8 uint8, x8 uint16) bool {
+		d := Dist{Alpha: 1.05 + float64(a8)/16, Beta: 0.01 + float64(b8)/32}
+		x1 := d.Beta + float64(x8)/100
+		x2 := x1 + 1
+		if d.CDF(x2) < d.CDF(x1) {
+			return false
+		}
+		return almost(d.CDF(x1)+d.Tail(x1), 1, 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

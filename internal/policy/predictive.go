@@ -1,0 +1,65 @@
+package policy
+
+import (
+	"math"
+
+	"jointpm/internal/disk"
+	"jointpm/internal/simtime"
+)
+
+// PredictiveShutdown implements the classic exponential-average
+// predictive disk power management (Hwang & Wu's adaptive prediction, the
+// family of policies the paper's Section II-A surveys alongside the
+// timeout schemes): instead of waiting out a timeout, it predicts the
+// next idle interval from an exponentially weighted average of past
+// intervals and spins down *immediately* when the prediction exceeds the
+// break-even time.
+//
+//	I_{k+1} = a·i_k + (1−a)·I_k
+//
+// Prediction misses are self-correcting: gaps that were predicted long
+// but ended short raise the average's error and subsequent predictions
+// shrink. The policy is exposed as the "EA" disk kind, an extension
+// beyond the paper's 16-method comparison.
+type PredictiveShutdown struct {
+	d *disk.Disk
+
+	// Alpha is the smoothing weight on the most recent interval.
+	Alpha float64
+
+	predicted float64
+	seen      bool
+}
+
+// NewPredictiveShutdown attaches the policy to the disk with the
+// conventional a = 0.5 weighting.
+func NewPredictiveShutdown(d *disk.Disk) *PredictiveShutdown {
+	p := &PredictiveShutdown{d: d, Alpha: 0.5}
+	// Until the first idle interval is observed, stay conservative: never
+	// spin down.
+	d.SetTimeout(d.Now(), simtime.Seconds(math.Inf(1)))
+	d.SetObserver(p)
+	return p
+}
+
+// Predicted returns the current idle-interval prediction.
+func (p *PredictiveShutdown) Predicted() simtime.Seconds {
+	return simtime.Seconds(p.predicted)
+}
+
+// IdleEnded implements disk.Observer: fold the observed interval into the
+// exponential average and arm the next gap's decision — timeout 0 when
+// the prediction clears the break-even time, +Inf otherwise.
+func (p *PredictiveShutdown) IdleEnded(idle simtime.Seconds, spunDown bool) {
+	if !p.seen {
+		p.predicted = float64(idle)
+		p.seen = true
+	} else {
+		p.predicted = p.Alpha*float64(idle) + (1-p.Alpha)*p.predicted
+	}
+	to := simtime.Seconds(math.Inf(1))
+	if p.predicted > float64(p.d.Spec().BreakEven()) {
+		to = 0
+	}
+	p.d.SetTimeout(p.d.Now(), to)
+}

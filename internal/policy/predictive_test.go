@@ -1,0 +1,94 @@
+package policy
+
+import (
+	"math"
+	"testing"
+
+	"jointpm/internal/disk"
+	"jointpm/internal/simtime"
+)
+
+func TestPredictiveStartsConservative(t *testing.T) {
+	d := disk.New(disk.Barracuda(), 0.5)
+	NewPredictiveShutdown(d)
+	if !math.IsInf(float64(d.Timeout()), 1) {
+		t.Fatalf("initial timeout = %v, want +Inf", d.Timeout())
+	}
+	d.Submit(0, simtime.MB)
+	d.FinishTo(1000)
+	if d.Stats().SpinDowns != 0 {
+		t.Error("spun down before any prediction")
+	}
+}
+
+func TestPredictiveArmsAfterLongIdle(t *testing.T) {
+	d := disk.New(disk.Barracuda(), 0.5)
+	p := NewPredictiveShutdown(d)
+	d.Submit(0, simtime.MB)
+	d.Submit(100, simtime.MB) // 100 s gap observed → prediction 100 s > t_be
+	if got := p.Predicted(); got < 90 {
+		t.Fatalf("prediction = %v", got)
+	}
+	if d.Timeout() != 0 {
+		t.Fatalf("timeout = %v, want 0 (immediate shutdown)", d.Timeout())
+	}
+	// The disk spins down right after the request and pays the spin-up on
+	// the next arrival.
+	_, lat := d.Submit(200, simtime.MB)
+	if lat < disk.Barracuda().SpinUpTime {
+		t.Errorf("latency %v missing spin-up", lat)
+	}
+	// Two spin-downs by now: one when the first long gap's zero timeout
+	// expired, and one immediately after this request completed (the
+	// prediction is still long, so the policy re-arms instantly).
+	if d.Stats().SpinDowns != 2 {
+		t.Errorf("spin-downs = %d, want 2", d.Stats().SpinDowns)
+	}
+}
+
+func TestPredictiveBacksOffAfterShortIdle(t *testing.T) {
+	d := disk.New(disk.Barracuda(), 0.5)
+	p := NewPredictiveShutdown(d)
+	d.Submit(0, simtime.MB)
+	now := simtime.Seconds(100)
+	// A burst of sub-second gaps drags the exponential average below the
+	// break-even time and disarms shutdown.
+	for i := 0; i < 12; i++ {
+		d.Submit(now, simtime.MB)
+		now += 0.5
+	}
+	if p.Predicted() > disk.Barracuda().BreakEven() {
+		t.Fatalf("prediction %v did not decay", p.Predicted())
+	}
+	if !math.IsInf(float64(d.Timeout()), 1) {
+		t.Fatalf("timeout = %v, want +Inf after short gaps", d.Timeout())
+	}
+}
+
+func TestPredictiveExponentialAverage(t *testing.T) {
+	d := disk.New(disk.Barracuda(), 0.5)
+	p := NewPredictiveShutdown(d)
+	p.IdleEnded(100, false)
+	if p.Predicted() != 100 {
+		t.Fatalf("first observation: %v", p.Predicted())
+	}
+	p.IdleEnded(0, false)
+	if p.Predicted() != 50 {
+		t.Fatalf("after 0: %v, want 50", p.Predicted())
+	}
+	p.IdleEnded(30, false)
+	if p.Predicted() != 40 {
+		t.Fatalf("after 30: %v, want 40", p.Predicted())
+	}
+}
+
+func TestPredictiveMethodName(t *testing.T) {
+	m := Method{Disk: DiskPredictive, Mem: MemFixedNap, MemBytes: 16 * simtime.GB}
+	if m.Name() != "EAFM-16GB" {
+		t.Errorf("Name = %q", m.Name())
+	}
+	parsed, err := ParseName("EAFM-16GB")
+	if err != nil || parsed != m {
+		t.Errorf("ParseName: %+v, %v", parsed, err)
+	}
+}

@@ -1,0 +1,112 @@
+// Package qmodel provides the single-server queueing formulas the
+// simulator's latency behaviour follows: M/M/1 and M/G/1
+// (Pollaczek–Khinchine). The paper's performance constraint reasons about
+// latency indirectly ("high utilization causes long latency", Section
+// IV-D); these closed forms make the link quantitative, and the joint
+// manager attaches an M/G/1 wait estimate to every candidate it prices.
+package qmodel
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrUnstable reports an offered load at or above capacity (ρ ≥ 1), for
+// which no stationary queue exists.
+var ErrUnstable = errors.New("qmodel: utilization >= 1, queue unstable")
+
+// MM1Wait returns the mean waiting time (excluding service) in an M/M/1
+// queue with arrival rate lambda and mean service time es.
+func MM1Wait(lambda, es float64) (float64, error) {
+	rho := lambda * es
+	if rho >= 1 {
+		return math.Inf(1), ErrUnstable
+	}
+	if rho <= 0 {
+		return 0, nil
+	}
+	return rho * es / (1 - rho), nil
+}
+
+// MG1Wait returns the mean waiting time in an M/G/1 queue via the
+// Pollaczek–Khinchine formula: W_q = λ·E[S²] / (2·(1−ρ)).
+func MG1Wait(lambda, es, es2 float64) (float64, error) {
+	rho := lambda * es
+	if rho >= 1 {
+		return math.Inf(1), ErrUnstable
+	}
+	if lambda <= 0 || es <= 0 {
+		return 0, nil
+	}
+	return lambda * es2 / (2 * (1 - rho)), nil
+}
+
+// MG1WaitSCV is MG1Wait parameterised by the squared coefficient of
+// variation of service time (scv = Var[S]/E[S]²): E[S²] = E[S]²·(1+scv).
+// scv = 0 gives M/D/1, scv = 1 gives M/M/1.
+func MG1WaitSCV(lambda, es, scv float64) (float64, error) {
+	if scv < 0 {
+		scv = 0
+	}
+	return MG1Wait(lambda, es, es*es*(1+scv))
+}
+
+// MM1QueueLength returns the mean number in system for M/M/1 (L = ρ/(1−ρ)).
+func MM1QueueLength(rho float64) (float64, error) {
+	if rho >= 1 {
+		return math.Inf(1), ErrUnstable
+	}
+	if rho < 0 {
+		rho = 0
+	}
+	return rho / (1 - rho), nil
+}
+
+// ResponseTime returns wait + service.
+func ResponseTime(wait, es float64) float64 { return wait + es }
+
+// Moments accumulates the first two moments of a sample online, for
+// feeding empirical service distributions into MG1Wait.
+type Moments struct {
+	n       int64
+	sum, sq float64
+}
+
+// Add folds one observation.
+func (m *Moments) Add(x float64) {
+	m.n++
+	m.sum += x
+	m.sq += x * x
+}
+
+// N returns the observation count.
+func (m *Moments) N() int64 { return m.n }
+
+// Mean returns E[X].
+func (m *Moments) Mean() float64 {
+	if m.n == 0 {
+		return 0
+	}
+	return m.sum / float64(m.n)
+}
+
+// SecondMoment returns E[X²].
+func (m *Moments) SecondMoment() float64 {
+	if m.n == 0 {
+		return 0
+	}
+	return m.sq / float64(m.n)
+}
+
+// SCV returns the squared coefficient of variation Var[X]/E[X]².
+func (m *Moments) SCV() float64 {
+	mean := m.Mean()
+	if mean == 0 {
+		return 0
+	}
+	v := m.SecondMoment() - mean*mean
+	if v < 0 {
+		v = 0
+	}
+	return v / (mean * mean)
+}

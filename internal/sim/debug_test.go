@@ -1,0 +1,46 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"jointpm/internal/policy"
+	"jointpm/internal/simtime"
+)
+
+// TestDebugJointDecisions is a diagnostic aid: run with -run DebugJoint -v
+// to inspect what the joint manager decides each period.
+func TestDebugJointDecisions(t *testing.T) {
+	if !testing.Verbose() {
+		t.Skip("diagnostic only")
+	}
+	tr := testWorkload(t, float64(simtime.MB)/2, 3600)
+	res, err := Run(testConfig(tr, policy.Joint(128*simtime.MB)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, ps := range res.Periods {
+		to := float64(ps.Timeout)
+		toStr := "inf"
+		if !math.IsInf(to, 1) {
+			toStr = ps.Timeout.String()
+		}
+		t.Logf("period %2d: acc=%6d miss=%5d req=%5d util=%.4f banks=%3d to=%s delayed=%d E=%v",
+			i, ps.CacheAccesses, ps.DiskAccesses, ps.DiskRequests, ps.Utilization, ps.Banks, toStr, ps.Delayed, ps.Energy)
+		if ps.Decision != nil {
+			c := ps.Decision.Chosen
+			t.Logf("   chosen: banks=%d nd=%d ni=%d fitOK=%v alpha=%.2f beta=%.3f floor=%v pm=%v dyn=%v mem=%v util=%.4f feas=%v",
+				c.Banks, c.DiskAccesses, c.IdleCount, c.FitOK, c.Fit.Alpha, c.Fit.Beta,
+				c.TimeoutFloor, c.DiskPMPower, c.DiskDynPower, c.MemPower, c.Utilization, c.Feasible)
+			if i >= 4 && i <= 6 {
+				for _, cc := range ps.Decision.Candidates {
+					t.Logf("      cand banks=%3d nd=%5d ni=%3d a=%.2f b=%.3f to=%v floor=%v pm=%.3f dyn=%.4f mem=%.4f tot=%.3f",
+						cc.Banks, cc.DiskAccesses, cc.IdleCount, cc.Fit.Alpha, cc.Fit.Beta,
+						cc.Timeout, cc.TimeoutFloor, float64(cc.DiskPMPower), float64(cc.DiskDynPower),
+						float64(cc.MemPower), float64(cc.TotalPower))
+				}
+			}
+		}
+	}
+	t.Logf("total=%v disk=%v mem=%v", res.TotalEnergy(), res.DiskEnergy.Total(), res.MemEnergy.Total())
+}

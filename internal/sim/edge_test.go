@@ -1,0 +1,213 @@
+package sim
+
+import (
+	"testing"
+
+	"jointpm/internal/disk"
+	"jointpm/internal/policy"
+	"jointpm/internal/simtime"
+	"jointpm/internal/trace"
+)
+
+// singleRequestTrace builds a minimal one-request trace.
+func singleRequestTrace(at simtime.Seconds) *trace.Trace {
+	return &trace.Trace{
+		PageSize:     16 * simtime.KB,
+		DataSetBytes: simtime.MB,
+		DataSetPages: 64,
+		Files:        1,
+		Duration:     600,
+		Requests: []trace.Request{
+			{Time: at, File: 0, FirstPage: 0, Pages: 4, Bytes: 60 * simtime.KB},
+		},
+	}
+}
+
+func edgeConfig(tr *trace.Trace) Config {
+	return Config{
+		Trace:        tr,
+		Method:       policy.AlwaysOn(16 * simtime.MB),
+		InstalledMem: 16 * simtime.MB,
+		BankSize:     simtime.MB,
+		Period:       60,
+	}
+}
+
+func TestSingleRequestRun(t *testing.T) {
+	res, err := Run(edgeConfig(singleRequestTrace(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ClientRequests != 1 || res.CacheAccesses != 4 || res.DiskAccesses != 4 {
+		t.Errorf("counts: %d/%d/%d", res.ClientRequests, res.CacheAccesses, res.DiskAccesses)
+	}
+	if res.DiskRequests != 1 {
+		t.Errorf("misses not coalesced: %d requests", res.DiskRequests)
+	}
+	if len(res.Periods) != 10 {
+		t.Errorf("periods = %d, want 10 over 600s at 60s", len(res.Periods))
+	}
+}
+
+func TestRequestAtTimeZero(t *testing.T) {
+	res, err := Run(edgeConfig(singleRequestTrace(0)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ClientRequests != 1 {
+		t.Fatal("t=0 request lost")
+	}
+}
+
+func TestRequestExactlyAtPeriodBoundary(t *testing.T) {
+	tr := singleRequestTrace(60) // exactly on the first boundary
+	res, err := Run(edgeConfig(tr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The boundary closes before the request is served; its traffic lands
+	// in the second period.
+	if res.Periods[0].CacheAccesses != 0 {
+		t.Errorf("period 0 saw %d accesses", res.Periods[0].CacheAccesses)
+	}
+	if res.Periods[1].CacheAccesses != 4 {
+		t.Errorf("period 1 saw %d accesses", res.Periods[1].CacheAccesses)
+	}
+}
+
+func TestEmptyTraceRun(t *testing.T) {
+	tr := singleRequestTrace(1)
+	tr.Requests = nil
+	res, err := Run(edgeConfig(tr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ClientRequests != 0 || res.DiskAccesses != 0 {
+		t.Error("phantom traffic")
+	}
+	// Idle energy still accrues for the full duration.
+	if res.TotalEnergy() <= 0 {
+		t.Error("no idle energy accounted")
+	}
+	if res.Duration != 600 {
+		t.Errorf("duration = %v", res.Duration)
+	}
+}
+
+func TestWarmupRoundsUpToPeriod(t *testing.T) {
+	tr := singleRequestTrace(1)
+	cfg := edgeConfig(tr)
+	cfg.Warmup = 61 // rounds up to 120
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Metered duration = 600 − 120.
+	if res.Duration != 480 {
+		t.Errorf("metered duration = %v, want 480", res.Duration)
+	}
+	// The single request happened during warmup: nothing metered.
+	if res.ClientRequests != 0 || res.DiskAccesses != 0 {
+		t.Errorf("warmup traffic leaked: %d/%d", res.ClientRequests, res.DiskAccesses)
+	}
+	// Periods are post-warmup only.
+	if len(res.Periods) != 8 {
+		t.Errorf("periods = %d, want 8", len(res.Periods))
+	}
+	if res.Periods[0].Start != 120 {
+		t.Errorf("first metered period starts at %v", res.Periods[0].Start)
+	}
+}
+
+func TestNegativeWarmupRejected(t *testing.T) {
+	cfg := edgeConfig(singleRequestTrace(1))
+	cfg.Warmup = -1
+	if _, err := Run(cfg); err == nil {
+		t.Error("negative warmup accepted")
+	}
+}
+
+func TestMissRunsSplitByHits(t *testing.T) {
+	// Pages 0..3 with page 2 already resident: the miss run must split
+	// into [0,1] and [3], two disk requests.
+	tr := singleRequestTrace(1)
+	warm := trace.Request{Time: 0.5, File: 0, FirstPage: 2, Pages: 1, Bytes: 16 * simtime.KB}
+	tr.Requests = append([]trace.Request{warm}, tr.Requests...)
+	res, err := Run(edgeConfig(tr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// warm: 1 request for page 2; main: runs [0,1] and [3].
+	if res.DiskRequests != 3 {
+		t.Errorf("disk requests = %d, want 3", res.DiskRequests)
+	}
+	if res.DiskAccesses != 4 {
+		t.Errorf("page misses = %d, want 4", res.DiskAccesses)
+	}
+}
+
+func TestLatencyIsMaxOfRunsWithinRequest(t *testing.T) {
+	tr := singleRequestTrace(1)
+	res, err := Run(edgeConfig(tr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One coalesced 4-page request: latency equals its service time.
+	if res.TotalLatency <= 0 {
+		t.Error("no latency accounted for a missing request")
+	}
+	if res.MeanLatency() > 0.1 {
+		t.Errorf("latency %v implausibly high for one small request", res.MeanLatency())
+	}
+}
+
+func TestOracleLowerBoundsResult(t *testing.T) {
+	tr := testWorkload(t, float64(simtime.MB)/4, 1800)
+	res, err := Run(testConfig(tr, policy.Method{
+		Disk: policy.DiskTwoCompetitive, Mem: policy.MemFixedNap, MemBytes: 128 * simtime.MB}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OracleDiskPM <= 0 {
+		t.Fatal("no oracle accounting")
+	}
+	// The oracle bound never exceeds what the policy actually paid in
+	// spin-down-related energy (static-on during gaps + transitions).
+	// StaticOn includes service spans too, so compare against the larger
+	// quantity; the invariant is oracle ≤ actual.
+	actual := res.DiskEnergy.StaticOn + res.DiskEnergy.Transition
+	if float64(res.OracleDiskPM) > float64(actual)+1e-6 {
+		t.Errorf("oracle %v above actual %v", res.OracleDiskPM, actual)
+	}
+}
+
+func TestZonedEngineOption(t *testing.T) {
+	tr := testWorkload(t, float64(simtime.MB), 1200)
+	zspec := disk.BarracudaZoned()
+	flat := testConfig(tr, policy.AlwaysOn(128*simtime.MB))
+	zcfg := flat
+	zcfg.Zoned = &zspec
+	fres, err := Run(flat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zres, err := Run(zcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same cache behaviour: identical misses; only the mechanical service
+	// model differs.
+	if zres.DiskAccesses != fres.DiskAccesses {
+		t.Errorf("zoned changed misses: %d vs %d", zres.DiskAccesses, fres.DiskAccesses)
+	}
+	if zres.Utilization <= 0 || fres.Utilization <= 0 {
+		t.Fatal("no utilization")
+	}
+	if zres.Utilization == fres.Utilization {
+		t.Error("zoned service model indistinguishable from flat")
+	}
+	// Power-side structure is inherited: always-on never transitions.
+	if zres.DiskEnergy.Transition != 0 {
+		t.Error("zoned always-on paid transitions")
+	}
+}

@@ -1,0 +1,557 @@
+// Package sim is the discrete-event engine that plays a disk-cache access
+// trace through the full stack — page cache, memory power model, disk
+// model, and a power-management method — and collects the metrics the
+// paper's evaluation reports: energy split by component, request latency,
+// disk utilization, long-latency request rate, and access counts, both
+// cumulative and per adaptation period (Fig. 6(b)).
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"jointpm/internal/cache"
+	"jointpm/internal/core"
+	"jointpm/internal/disk"
+	"jointpm/internal/lrusim"
+	"jointpm/internal/mem"
+	"jointpm/internal/policy"
+	"jointpm/internal/simtime"
+	"jointpm/internal/trace"
+)
+
+// Config describes one simulation run.
+type Config struct {
+	Trace  *trace.Trace
+	Method policy.Method
+
+	InstalledMem simtime.Bytes // physical memory ceiling (paper: 128 GB)
+	BankSize     simtime.Bytes // resize granularity (paper: 16 MB)
+	DiskSpec     disk.Spec
+	MemSpec      mem.Spec // zero value means mem.RDRAM(BankSize)
+
+	Period      simtime.Seconds // adaptation/metrics period (paper: 600 s)
+	LongLatency simtime.Seconds // "long latency" threshold (paper: 0.5 s)
+
+	// Warmup excludes the initial cache-population phase from the
+	// reported metrics: the simulation runs normally (policies adapt,
+	// energy flows) but Result counters and period stats start after this
+	// span. The paper's traces were collected from a running server, so a
+	// cold page cache is an artifact of simulation start, not workload.
+	// Rounded up to a whole number of periods.
+	Warmup simtime.Seconds
+
+	// Joint overrides selected core parameters; zero fields keep the
+	// defaults derived from this config.
+	Joint *core.Params
+
+	// Zoned, when set, replaces the flat service model with the zoned
+	// disk: media rate varies by platter zone and seek time by head
+	// travel. The data set is laid out spread uniformly across the
+	// platter. Power management is unaffected (the spec's power fields
+	// are taken from Zoned.Spec).
+	Zoned *disk.ZonedSpec
+}
+
+func (c *Config) withDefaults() (Config, error) {
+	cfg := *c
+	if cfg.Trace == nil {
+		return cfg, fmt.Errorf("sim: no trace")
+	}
+	if err := cfg.Trace.Validate(); err != nil {
+		return cfg, err
+	}
+	if cfg.InstalledMem <= 0 {
+		cfg.InstalledMem = 128 * simtime.GB
+	}
+	if cfg.BankSize <= 0 {
+		cfg.BankSize = 16 * simtime.MB
+	}
+	if cfg.Zoned != nil {
+		cfg.DiskSpec = cfg.Zoned.Spec
+	}
+	if cfg.DiskSpec == (disk.Spec{}) {
+		cfg.DiskSpec = disk.Barracuda()
+	}
+	if cfg.MemSpec == (mem.Spec{}) {
+		cfg.MemSpec = mem.RDRAM(cfg.BankSize)
+	}
+	if cfg.Period <= 0 {
+		cfg.Period = 600
+	}
+	if cfg.LongLatency <= 0 {
+		cfg.LongLatency = 0.5
+	}
+	if cfg.Warmup < 0 {
+		return cfg, fmt.Errorf("sim: negative warmup %v", cfg.Warmup)
+	}
+	if cfg.Warmup > 0 {
+		periods := math.Ceil(float64(cfg.Warmup) / float64(cfg.Period))
+		cfg.Warmup = simtime.Seconds(periods) * cfg.Period
+	}
+	ps := cfg.Trace.PageSize
+	if cfg.BankSize%ps != 0 {
+		return cfg, fmt.Errorf("sim: bank size %v not a multiple of page size %v", cfg.BankSize, ps)
+	}
+	if cfg.InstalledMem%cfg.BankSize != 0 {
+		return cfg, fmt.Errorf("sim: installed memory %v not a multiple of bank size %v", cfg.InstalledMem, cfg.BankSize)
+	}
+	if cfg.Method.MemBytes == 0 {
+		cfg.Method.MemBytes = cfg.InstalledMem
+	}
+	if cfg.Method.MemBytes > cfg.InstalledMem {
+		return cfg, fmt.Errorf("sim: method memory %v exceeds installed %v", cfg.Method.MemBytes, cfg.InstalledMem)
+	}
+	return cfg, nil
+}
+
+// PeriodStat is one adaptation period's window of metrics (Fig. 9 and the
+// joint manager's introspection).
+type PeriodStat struct {
+	Start, End    simtime.Seconds
+	CacheAccesses int64 // page references into the disk cache
+	DiskAccesses  int64 // page misses
+	DiskRequests  int64 // coalesced requests submitted to the disk
+	Utilization   float64
+	MeanIdle      simtime.Seconds
+	Delayed       int64 // long-latency client requests
+	Energy        simtime.Joules
+	Banks         int             // enabled banks at period end
+	Timeout       simtime.Seconds // disk timeout at period end
+	Decision      *core.Decision  // joint method only
+}
+
+// Result is the outcome of one run.
+type Result struct {
+	Method   policy.Method
+	Duration simtime.Seconds
+
+	DiskEnergy disk.Energy
+	MemEnergy  mem.Energy
+
+	ClientRequests int64
+	CacheAccesses  int64 // N over the whole run (page references)
+	DiskAccesses   int64 // page misses (Table III "disk accesses")
+	DiskRequests   int64
+	TotalLatency   simtime.Seconds
+	Delayed        int64 // client requests with latency > LongLatency
+	Utilization    float64
+
+	// OracleDiskPM is the offline-optimal spin-down cost over the same
+	// idle gaps: Σ min(p_d·gap, E_transition). It lower-bounds what any
+	// timeout policy could have spent on static+transition energy (the
+	// oracle of Lu et al.'s comparison, which the paper's policy choices
+	// are justified against).
+	OracleDiskPM simtime.Joules
+
+	Periods []PeriodStat
+}
+
+// TotalEnergy returns disk + memory energy.
+func (r *Result) TotalEnergy() simtime.Joules {
+	return r.DiskEnergy.Total() + r.MemEnergy.Total()
+}
+
+// MeanLatency returns the average client-request latency.
+func (r *Result) MeanLatency() simtime.Seconds {
+	if r.ClientRequests == 0 {
+		return 0
+	}
+	return r.TotalLatency / simtime.Seconds(r.ClientRequests)
+}
+
+// DelayedPerSecond returns the rate of long-latency client requests.
+func (r *Result) DelayedPerSecond() float64 {
+	if r.Duration <= 0 {
+		return 0
+	}
+	return float64(r.Delayed) / float64(r.Duration)
+}
+
+// Run executes the simulation.
+func Run(c Config) (*Result, error) {
+	cfg, err := c.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	e, err := newEngine(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return e.run()
+}
+
+// engine holds the per-run state.
+type engine struct {
+	cfg          Config
+	pageSize     simtime.Bytes
+	pagesPerBank int64
+
+	cache *cache.PageCache
+	disk  *disk.Disk
+	mem   *mem.Memory
+
+	adaptive *policy.AdaptiveTimeout
+	manager  *core.Manager
+
+	zoned    *disk.ZonedDisk
+	lbaScale float64
+
+	stack     *lrusim.StackSim
+	periodLog []lrusim.DepthRecord
+
+	res Result
+
+	// period windowing
+	periodIdx      int
+	lastDiskStats  disk.Stats
+	lastDiskEnergy disk.Energy
+	lastMemEnergy  mem.Energy
+	periodCacheAcc int64
+	periodDelayed  int64
+	lastPageMisses int64
+
+	// warmup snapshot, subtracted from the final result
+	warmupTaken bool
+	wDiskStats  disk.Stats
+	wDiskEnergy disk.Energy
+	wMemEnergy  mem.Energy
+	wResult     Result
+}
+
+func newEngine(cfg Config) (*engine, error) {
+	ps := cfg.Trace.PageSize
+	pagesPerBank := int64(cfg.BankSize / ps)
+	installedFrames := int64(cfg.InstalledMem / ps)
+	totalBanks := int(cfg.InstalledMem / cfg.BankSize)
+
+	e := &engine{
+		cfg:          cfg,
+		pageSize:     ps,
+		pagesPerBank: pagesPerBank,
+	}
+	e.cache = cache.New(installedFrames, pagesPerBank)
+	if cfg.Zoned != nil {
+		e.zoned = disk.NewZoned(*cfg.Zoned, cfg.LongLatency)
+		e.disk = e.zoned.Disk
+		// LBA scale spreads the data set across the whole platter.
+		if cfg.Trace.DataSetBytes > 0 {
+			e.lbaScale = float64(cfg.Zoned.Capacity) / float64(cfg.Trace.DataSetBytes)
+		}
+	} else {
+		e.disk = disk.New(cfg.DiskSpec, cfg.LongLatency)
+	}
+	e.mem = mem.New(cfg.MemSpec, totalBanks, cfg.Method.Mem.BankPolicy())
+	e.disk.SetIdleRecorder(func(gap simtime.Seconds) {
+		e.res.OracleDiskPM += cfg.DiskSpec.OracleGapEnergy(gap)
+	})
+
+	switch cfg.Method.Disk {
+	case policy.DiskAlwaysOn:
+		// timeout stays +Inf
+	case policy.DiskTwoCompetitive:
+		e.disk.SetTimeout(0, cfg.DiskSpec.BreakEven())
+	case policy.DiskAdaptive:
+		e.adaptive = policy.NewAdaptiveTimeout(e.disk)
+	case policy.DiskPredictive:
+		policy.NewPredictiveShutdown(e.disk)
+	case policy.DiskJoint:
+		e.disk.SetTimeout(0, cfg.DiskSpec.BreakEven())
+	}
+
+	if cfg.Method.Mem == policy.MemFixedNap && cfg.Method.MemBytes < cfg.InstalledMem {
+		// Fixed-size methods start (and stay) with only MemBytes enabled.
+		banks := int(cfg.Method.MemBytes / cfg.BankSize)
+		if banks < 1 {
+			banks = 1
+		}
+		e.cache.Resize(int64(banks) * pagesPerBank)
+		e.mem.SetEnabledBanks(0, banks)
+	}
+
+	if cfg.Method.IsJoint() {
+		p := core.DefaultParams(ps, cfg.BankSize, totalBanks, cfg.DiskSpec, cfg.MemSpec)
+		p.Period = cfg.Period
+		p.LongLatency = cfg.LongLatency
+		if cfg.Joint != nil {
+			p = mergeJointParams(p, *cfg.Joint)
+		}
+		mgr, err := core.NewManager(p)
+		if err != nil {
+			return nil, err
+		}
+		e.manager = mgr
+		e.stack = lrusim.NewStackSim(int(installedFrames))
+	}
+	e.res.Method = cfg.Method
+	return e, nil
+}
+
+// mergeJointParams overlays non-zero fields of o onto base.
+func mergeJointParams(base, o core.Params) core.Params {
+	if o.Period > 0 {
+		base.Period = o.Period
+	}
+	if o.Window > 0 {
+		base.Window = o.Window
+	}
+	if o.UtilCap > 0 {
+		base.UtilCap = o.UtilCap
+	}
+	if o.DelayCap > 0 {
+		base.DelayCap = o.DelayCap
+	}
+	if o.LongLatency > 0 {
+		base.LongLatency = o.LongLatency
+	}
+	if o.EnumUnit > 0 {
+		base.EnumUnit = o.EnumUnit
+	}
+	if o.MinBanks > 0 {
+		base.MinBanks = o.MinBanks
+	}
+	if o.MaxCandidatesPerPass > 0 {
+		base.MaxCandidatesPerPass = o.MaxCandidatesPerPass
+	}
+	if o.FixedTimeout {
+		base.FixedTimeout = true
+	}
+	if o.NoConstraintFloor {
+		base.NoConstraintFloor = true
+	}
+	if o.HysteresisFrac != 0 {
+		base.HysteresisFrac = o.HysteresisFrac
+	}
+	return base
+}
+
+func (e *engine) run() (*Result, error) {
+	tr := e.cfg.Trace
+	period := e.cfg.Period
+	nextBoundary := period
+
+	for i := range tr.Requests {
+		req := &tr.Requests[i]
+		for req.Time >= nextBoundary {
+			e.closePeriod(nextBoundary)
+			nextBoundary += period
+		}
+		e.serve(req)
+	}
+	end := tr.Duration
+	if n := len(tr.Requests); n > 0 && tr.Requests[n-1].Time > end {
+		end = tr.Requests[n-1].Time
+	}
+	for nextBoundary <= end {
+		e.closePeriod(nextBoundary)
+		nextBoundary += period
+	}
+	e.finish(end)
+	return &e.res, nil
+}
+
+// serve plays one client request: page-by-page cache lookup with lazy
+// disable checks, miss-run coalescing into disk requests, and latency
+// accounting at the client level.
+func (e *engine) serve(req *trace.Request) {
+	t := req.Time
+	e.res.ClientRequests++
+
+	var (
+		runStart  int64 = -1
+		runLen    int64
+		maxFinish simtime.Seconds
+	)
+	flush := func() {
+		if runLen == 0 {
+			return
+		}
+		size := simtime.Bytes(runLen) * e.pageSize
+		var finish simtime.Seconds
+		if e.zoned != nil {
+			lba := simtime.Bytes(float64(runStart*int64(e.pageSize)) * e.lbaScale)
+			finish, _ = e.zoned.SubmitAt(t, lba, size)
+		} else {
+			finish, _ = e.disk.Submit(t, size)
+		}
+		if finish > maxFinish {
+			maxFinish = finish
+		}
+		e.res.DiskRequests++
+		runStart, runLen = -1, 0
+	}
+
+	for k := int32(0); k < req.Pages; k++ {
+		page := req.FirstPage + int64(k)
+		e.res.CacheAccesses++
+		e.periodCacheAcc++
+
+		if e.stack != nil {
+			depth := e.stack.Reference(page)
+			e.periodLog = append(e.periodLog, lrusim.DepthRecord{Time: t, Page: page, Depth: depth, Bytes: e.pageSize})
+		}
+
+		hit := e.lookup(page, t)
+		if hit {
+			flush()
+			continue
+		}
+		// Miss: fetch from disk (coalesced) and install.
+		e.res.DiskAccesses++
+		if runLen > 0 && page == runStart+runLen {
+			runLen++
+		} else {
+			flush()
+			runStart, runLen = page, 1
+		}
+		frame, _ := e.cache.Insert(page)
+		e.mem.Touch(e.cache.BankOf(frame), t)
+		e.mem.AddDynamic(e.pageSize)
+	}
+	flush()
+
+	if maxFinish > t {
+		lat := maxFinish - t
+		e.res.TotalLatency += lat
+		if lat > e.cfg.LongLatency {
+			e.res.Delayed++
+			e.periodDelayed++
+		}
+	}
+}
+
+// lookup resolves one page against the cache, honouring lazy
+// disable-policy invalidation, and meters the memory access on a hit.
+func (e *engine) lookup(page int64, t simtime.Seconds) bool {
+	frame, hit := e.cache.Peek(page)
+	if !hit {
+		return false
+	}
+	bank := e.cache.BankOf(frame)
+	if _, dead := e.mem.IdleDisabledAt(bank, t); dead {
+		// The bank's disable timeout expired before this access: its data
+		// is gone. Invalidate and treat as a miss.
+		e.cache.InvalidateBank(bank)
+		e.mem.MarkIdleDisabled(bank, t)
+		return false
+	}
+	e.cache.Lookup(page) // LRU touch
+	e.mem.Touch(bank, t)
+	e.mem.AddDynamic(e.pageSize)
+	return true
+}
+
+// closePeriod settles accounting at a boundary, snapshots the window, and
+// lets the joint manager (or the disable sweep) act.
+func (e *engine) closePeriod(t simtime.Seconds) {
+	e.disk.FinishTo(t)
+
+	// Disable-policy sweep: banks whose timeout expired with no further
+	// accesses this period lose their data now (lazy checks cover the
+	// banks that do get accessed).
+	if e.cfg.Method.Mem == policy.MemDisable {
+		for _, b := range e.mem.SweepIdleDisabled(t) {
+			e.cache.InvalidateBank(b)
+			e.mem.MarkIdleDisabled(b, t)
+		}
+	}
+	e.mem.FinishTo(t)
+
+	ds := e.disk.Stats()
+	w := ds.Sub(e.lastDiskStats)
+	de := e.disk.Energy()
+	me := e.mem.Energy()
+	stat := PeriodStat{
+		Start:         t - e.cfg.Period,
+		End:           t,
+		CacheAccesses: e.periodCacheAcc,
+		DiskAccesses:  e.res.DiskAccesses - e.lastPageMisses,
+		DiskRequests:  w.Requests,
+		Utilization:   float64(w.BusyTime) / float64(e.cfg.Period),
+		MeanIdle:      w.MeanIdle(),
+		Delayed:       e.periodDelayed,
+		Energy:        de.Total() + me.Total() - e.lastDiskEnergy.Total() - e.lastMemEnergy.Total(),
+		Banks:         e.mem.EnabledBanks(),
+		Timeout:       e.disk.Timeout(),
+	}
+
+	// The joint manager holds its safe default through the warmup window:
+	// cold-fill-dominated logs show almost no deep reuse, and deciding
+	// from them shrinks the cache right before the reuse arrives, paying
+	// a staircase of refill storms to climb back. The paper's system
+	// manages an already-warm server.
+	if e.manager != nil && t >= e.cfg.Warmup {
+		coalesce := 1.0
+		if w.Requests > 0 {
+			coalesce = float64(stat.DiskAccesses) / float64(w.Requests)
+		}
+		dec := e.manager.Decide(core.Observation{
+			Log:            e.periodLog,
+			CacheAccesses:  e.periodCacheAcc,
+			CoalesceFactor: coalesce,
+			PeriodStart:    stat.Start,
+			PeriodEnd:      stat.End,
+			CurrentBanks:   e.manager.Last().Banks,
+		})
+		stat.Decision = &dec
+		e.cache.Resize(dec.Pages)
+		e.mem.SetEnabledBanks(t, dec.Banks)
+		e.disk.SetTimeout(t, dec.Timeout)
+		stat.Banks = dec.Banks
+		stat.Timeout = dec.Timeout
+	}
+	e.periodLog = e.periodLog[:0]
+
+	if t > e.cfg.Warmup {
+		e.res.Periods = append(e.res.Periods, stat)
+	} else if t == e.cfg.Warmup {
+		e.takeWarmupSnapshot(ds, de, me)
+	}
+	e.lastDiskStats = ds
+	e.lastDiskEnergy = de
+	e.lastMemEnergy = me
+	e.lastPageMisses = e.res.DiskAccesses
+	e.periodCacheAcc = 0
+	e.periodDelayed = 0
+	e.periodIdx++
+}
+
+// takeWarmupSnapshot freezes the counters accumulated during warmup so
+// finish can subtract them from the reported result.
+func (e *engine) takeWarmupSnapshot(ds disk.Stats, de disk.Energy, me mem.Energy) {
+	e.warmupTaken = true
+	e.wDiskStats = ds
+	e.wDiskEnergy = de
+	e.wMemEnergy = me
+	e.wResult = e.res
+}
+
+// finish settles accounting through the end of the run and, when a
+// warmup window was configured, windows the result to the post-warmup
+// span.
+func (e *engine) finish(end simtime.Seconds) {
+	e.disk.FinishTo(end)
+	e.mem.FinishTo(end)
+	e.res.DiskEnergy = e.disk.Energy()
+	e.res.MemEnergy = e.mem.Energy()
+	ds := e.disk.Stats()
+
+	start := simtime.Seconds(0)
+	if e.warmupTaken {
+		start = e.cfg.Warmup
+		e.res.DiskEnergy = e.res.DiskEnergy.Sub(e.wDiskEnergy)
+		e.res.MemEnergy = e.res.MemEnergy.Sub(e.wMemEnergy)
+		ds = ds.Sub(e.wDiskStats)
+		e.res.ClientRequests -= e.wResult.ClientRequests
+		e.res.CacheAccesses -= e.wResult.CacheAccesses
+		e.res.DiskAccesses -= e.wResult.DiskAccesses
+		e.res.DiskRequests -= e.wResult.DiskRequests
+		e.res.TotalLatency -= e.wResult.TotalLatency
+		e.res.Delayed -= e.wResult.Delayed
+		e.res.OracleDiskPM -= e.wResult.OracleDiskPM
+	}
+	e.res.Duration = end - start
+	if e.res.Duration > 0 {
+		e.res.Utilization = float64(ds.BusyTime) / float64(e.res.Duration)
+	}
+}

@@ -1,0 +1,317 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"jointpm/internal/core"
+	"jointpm/internal/mem"
+	"jointpm/internal/policy"
+	"jointpm/internal/simtime"
+	"jointpm/internal/trace"
+	"jointpm/internal/workload"
+)
+
+// testWorkload builds a small but non-trivial workload: 64 MB data set,
+// 64 KB pages, moderate reuse, 30 minutes.
+func testWorkload(t testing.TB, rate float64, dur simtime.Seconds) *trace.Trace {
+	t.Helper()
+	tr, err := workload.Generate(workload.Config{
+		DataSetBytes: 64 * simtime.MB,
+		PageSize:     64 * simtime.KB,
+		Rate:         rate,
+		Popularity:   0.1,
+		Duration:     dur,
+		Classes:      workload.SPECWeb99Classes(64),
+		Seed:         7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+// testConfig wires a 128 MB installed memory with 1 MB banks and a short
+// period so multiple adaptation rounds happen in a short trace.
+func testConfig(tr *trace.Trace, m policy.Method) Config {
+	return Config{
+		Trace:        tr,
+		Method:       m,
+		InstalledMem: 128 * simtime.MB,
+		BankSize:     simtime.MB,
+		Period:       120,
+	}
+}
+
+func TestRunAlwaysOnBaseline(t *testing.T) {
+	tr := testWorkload(t, float64(simtime.MB), 1800)
+	res, err := Run(testConfig(tr, policy.AlwaysOn(128*simtime.MB)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DiskEnergy.Transition != 0 {
+		t.Error("always-on disk paid transitions")
+	}
+	if res.ClientRequests == 0 || res.CacheAccesses == 0 {
+		t.Fatal("no traffic simulated")
+	}
+	if res.DiskAccesses > res.CacheAccesses {
+		t.Error("more misses than accesses")
+	}
+	// All banks nap the whole time: static energy ≈ banks × nap × T.
+	mspec := res.MemEnergy
+	if mspec.Static <= 0 {
+		t.Error("no memory static energy")
+	}
+	if len(res.Periods) == 0 {
+		t.Error("no period stats")
+	}
+	if res.Duration <= 0 {
+		t.Error("no duration")
+	}
+}
+
+func TestRunTimeoutSavesDiskEnergy(t *testing.T) {
+	// Low rate → long idle gaps → 2T must save disk energy vs always-on.
+	tr := testWorkload(t, float64(simtime.MB)/4, 1800)
+	on, err := Run(testConfig(tr, policy.AlwaysOn(128*simtime.MB)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	twoT, err := Run(testConfig(tr, policy.Method{
+		Disk: policy.DiskTwoCompetitive, Mem: policy.MemFixedNap, MemBytes: 128 * simtime.MB,
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if twoT.DiskEnergy.Total() >= on.DiskEnergy.Total() {
+		t.Errorf("2T disk %v not below always-on %v",
+			twoT.DiskEnergy.Total(), on.DiskEnergy.Total())
+	}
+	if twoT.Delayed == 0 {
+		t.Log("note: no delayed requests observed (short trace)")
+	}
+	// Same cache behaviour → identical miss counts.
+	if twoT.DiskAccesses != on.DiskAccesses {
+		t.Errorf("miss counts differ: %d vs %d", twoT.DiskAccesses, on.DiskAccesses)
+	}
+}
+
+func TestRunSmallMemoryMissesMore(t *testing.T) {
+	tr := testWorkload(t, float64(simtime.MB), 1200)
+	small, err := Run(testConfig(tr, policy.Method{
+		Disk: policy.DiskTwoCompetitive, Mem: policy.MemFixedNap, MemBytes: 8 * simtime.MB,
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	large, err := Run(testConfig(tr, policy.Method{
+		Disk: policy.DiskTwoCompetitive, Mem: policy.MemFixedNap, MemBytes: 128 * simtime.MB,
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small.DiskAccesses <= large.DiskAccesses {
+		t.Errorf("small memory misses %d not above large %d",
+			small.DiskAccesses, large.DiskAccesses)
+	}
+	if small.MemEnergy.Static >= large.MemEnergy.Static {
+		t.Errorf("small memory static %v not below large %v",
+			small.MemEnergy.Static, large.MemEnergy.Static)
+	}
+	if small.Utilization <= large.Utilization {
+		t.Errorf("small memory utilization %g not above large %g",
+			small.Utilization, large.Utilization)
+	}
+}
+
+func TestRunPowerDownSavesMemoryKeepsMisses(t *testing.T) {
+	tr := testWorkload(t, float64(simtime.MB)/2, 1200)
+	fm := testConfig(tr, policy.Method{
+		Disk: policy.DiskTwoCompetitive, Mem: policy.MemFixedNap, MemBytes: 128 * simtime.MB})
+	pd := testConfig(tr, policy.Method{
+		Disk: policy.DiskTwoCompetitive, Mem: policy.MemPowerDown, MemBytes: 128 * simtime.MB})
+	rf, err := Run(fm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp, err := Run(pd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Power-down keeps data: identical disk behaviour.
+	if rp.DiskAccesses != rf.DiskAccesses {
+		t.Errorf("PD changed misses: %d vs %d", rp.DiskAccesses, rf.DiskAccesses)
+	}
+	if rp.MemEnergy.Static >= rf.MemEnergy.Static {
+		t.Errorf("PD static %v not below nap %v", rp.MemEnergy.Static, rf.MemEnergy.Static)
+	}
+}
+
+func TestRunDisableCausesExtraMisses(t *testing.T) {
+	// Long trace with idle tail per bank; DS loses data and re-fetches.
+	tr := testWorkload(t, float64(simtime.MB)/2, 3600)
+	ds := testConfig(tr, policy.Method{
+		Disk: policy.DiskTwoCompetitive, Mem: policy.MemDisable, MemBytes: 128 * simtime.MB})
+	fm := testConfig(tr, policy.Method{
+		Disk: policy.DiskTwoCompetitive, Mem: policy.MemFixedNap, MemBytes: 128 * simtime.MB})
+	rd, err := Run(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rf, err := Run(fm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rd.DiskAccesses < rf.DiskAccesses {
+		t.Errorf("DS misses %d below FM %d", rd.DiskAccesses, rf.DiskAccesses)
+	}
+	if rd.MemEnergy.Static >= rf.MemEnergy.Static {
+		t.Errorf("DS static %v not below nap %v", rd.MemEnergy.Static, rf.MemEnergy.Static)
+	}
+}
+
+// jointTestConfig scales the delay cap to the test traffic: the paper's
+// D = 0.001 assumes millions of cache accesses per period, where a
+// thousandth is a real budget; at ~1000 accesses/period it allows less
+// than one delayed access, which (correctly) forbids all spin-down and
+// hides the behaviour these tests exercise.
+func jointTestConfig(tr *trace.Trace) Config {
+	cfg := testConfig(tr, policy.Joint(128*simtime.MB))
+	cfg.Joint = &core.Params{DelayCap: 0.02}
+	return cfg
+}
+
+func TestRunJointAdaptsAndSatisfiesConstraints(t *testing.T) {
+	tr := testWorkload(t, float64(simtime.MB), 3600)
+	cfg := jointTestConfig(tr)
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Periods) < 10 {
+		t.Fatalf("periods = %d", len(res.Periods))
+	}
+	adapted := false
+	for _, ps := range res.Periods {
+		if ps.Decision != nil && ps.Banks < 128 {
+			adapted = true
+		}
+	}
+	if !adapted {
+		t.Error("joint manager never shrank memory")
+	}
+	// Steady-state utilization must respect the cap (allow the warmup
+	// period to violate it).
+	for i, ps := range res.Periods {
+		if i >= 2 && ps.Utilization > 0.10+0.05 {
+			t.Errorf("period %d utilization %g exceeds cap", i, ps.Utilization)
+		}
+	}
+}
+
+func TestRunJointBeatsOversizedFixed(t *testing.T) {
+	// Small working set inside a big installed memory: joint should beat
+	// a fixed full-size configuration on total energy. The test memory is
+	// only 128 MB (1/1024 of the paper's 128 GB), so real RDRAM constants
+	// would make memory power negligible next to the disk and there would
+	// be nothing to win; scale the per-MB nap power up to restore the
+	// paper's memory:disk power ratio (128 GB nap ≈ 86 W vs p_d = 6.6 W).
+	memSpec := mem.RDRAM(simtime.MB)
+	memSpec.NapPowerPerMB *= 1024
+
+	tr := testWorkload(t, float64(simtime.MB)/2, 3600)
+	jcfg := jointTestConfig(tr)
+	jcfg.MemSpec = memSpec
+	joint, err := Run(jcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fcfg := testConfig(tr, policy.Method{
+		Disk: policy.DiskTwoCompetitive, Mem: policy.MemFixedNap, MemBytes: 128 * simtime.MB})
+	fcfg.MemSpec = memSpec
+	fixed, err := Run(fcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if joint.TotalEnergy() >= fixed.TotalEnergy() {
+		t.Errorf("joint %v not below oversized fixed %v",
+			joint.TotalEnergy(), fixed.TotalEnergy())
+	}
+}
+
+func TestRunDeterminism(t *testing.T) {
+	tr := testWorkload(t, float64(simtime.MB), 900)
+	cfg := jointTestConfig(tr)
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.TotalEnergy() != b.TotalEnergy() || a.DiskAccesses != b.DiskAccesses {
+		t.Error("same config produced different results")
+	}
+}
+
+func TestRunEnergyConservation(t *testing.T) {
+	tr := testWorkload(t, float64(simtime.MB), 900)
+	res, err := Run(testConfig(tr, policy.Method{
+		Disk: policy.DiskTwoCompetitive, Mem: policy.MemFixedNap, MemBytes: 64 * simtime.MB}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Total equals the sum of components.
+	sum := res.DiskEnergy.Dynamic + res.DiskEnergy.StaticOn + res.DiskEnergy.Floor +
+		res.DiskEnergy.Transition + res.MemEnergy.Static + res.MemEnergy.Dynamic +
+		res.MemEnergy.Transition
+	if math.Abs(float64(res.TotalEnergy()-sum)) > 1e-6 {
+		t.Errorf("total %v != sum %v", res.TotalEnergy(), sum)
+	}
+	// Period energies sum to roughly the total (final partial period may
+	// fall outside the last boundary).
+	var pe simtime.Joules
+	for _, p := range res.Periods {
+		pe += p.Energy
+	}
+	if float64(pe) > float64(res.TotalEnergy())+1e-6 {
+		t.Errorf("period energy %v exceeds total %v", pe, res.TotalEnergy())
+	}
+}
+
+func TestRunValidatesConfig(t *testing.T) {
+	tr := testWorkload(t, float64(simtime.MB), 60)
+	bad := []func(*Config){
+		func(c *Config) { c.Trace = nil },
+		func(c *Config) { c.BankSize = 48 * simtime.KB },           // not page multiple
+		func(c *Config) { c.InstalledMem = 100*simtime.MB + 13 },   // not bank multiple
+		func(c *Config) { c.Method.MemBytes = 2 * c.InstalledMem }, // oversized method
+		func(c *Config) { c.Trace.Requests[0].Pages = -1 },         // invalid trace
+	}
+	for i, mut := range bad {
+		cfg := testConfig(tr.Clone(), policy.AlwaysOn(128*simtime.MB))
+		mut(&cfg)
+		if _, err := Run(cfg); err == nil {
+			t.Errorf("case %d: bad config accepted", i)
+		}
+	}
+}
+
+func TestMeanLatencyAndRates(t *testing.T) {
+	var r Result
+	if r.MeanLatency() != 0 || r.DelayedPerSecond() != 0 {
+		t.Error("zero-value result rates wrong")
+	}
+	r.ClientRequests = 4
+	r.TotalLatency = 2
+	r.Duration = 10
+	r.Delayed = 5
+	if r.MeanLatency() != 0.5 {
+		t.Errorf("MeanLatency = %v", r.MeanLatency())
+	}
+	if r.DelayedPerSecond() != 0.5 {
+		t.Errorf("DelayedPerSecond = %v", r.DelayedPerSecond())
+	}
+}

@@ -1,0 +1,24 @@
+package simtime
+
+import "testing"
+
+// FuzzParseBytes: the parser never panics, and accepted inputs re-render
+// into something it accepts again at the same value.
+func FuzzParseBytes(f *testing.F) {
+	for _, s := range []string{"16GB", "0", "100B", " 8gb ", "12KB", "-1", "x", "999999999999GB"} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		v, err := ParseBytes(s)
+		if err != nil {
+			return
+		}
+		again, err := ParseBytes(v.String())
+		if err != nil {
+			t.Fatalf("rendered %q not re-parseable: %v", v.String(), err)
+		}
+		if again != v {
+			t.Fatalf("round trip %q: %d != %d", s, again, v)
+		}
+	})
+}

@@ -1,0 +1,116 @@
+// Package simtime defines the scalar quantities used throughout the
+// simulator: simulated time in seconds, energy in joules, power in watts,
+// and byte sizes. Using small named types keeps unit errors visible at the
+// type level without dragging in time.Duration (whose nanosecond range is
+// too coarse-grained an idiom for multi-hour, microsecond-resolution
+// discrete-event simulation driven by float arithmetic).
+package simtime
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Seconds is a point in simulated time or a duration, in seconds.
+type Seconds float64
+
+// Joules is an amount of energy.
+type Joules float64
+
+// Watts is power. Watts * Seconds = Joules.
+type Watts float64
+
+// Bytes is a data size in bytes.
+type Bytes int64
+
+// Common byte sizes.
+const (
+	KB Bytes = 1 << 10
+	MB Bytes = 1 << 20
+	GB Bytes = 1 << 30
+)
+
+// Common time spans.
+const (
+	Millisecond Seconds = 1e-3
+	Microsecond Seconds = 1e-6
+	Minute      Seconds = 60
+	Hour        Seconds = 3600
+)
+
+// Energy returns the energy consumed by drawing power p for duration d.
+func Energy(p Watts, d Seconds) Joules {
+	return Joules(float64(p) * float64(d))
+}
+
+// String renders a byte size with a binary-prefix unit, e.g. "16MB".
+func (b Bytes) String() string {
+	switch {
+	case b >= GB && b%GB == 0:
+		return fmt.Sprintf("%dGB", b/GB)
+	case b >= MB && b%MB == 0:
+		return fmt.Sprintf("%dMB", b/MB)
+	case b >= KB && b%KB == 0:
+		return fmt.Sprintf("%dKB", b/KB)
+	default:
+		return fmt.Sprintf("%dB", int64(b))
+	}
+}
+
+// MBValue returns the size in (binary) megabytes as a float.
+func (b Bytes) MBValue() float64 { return float64(b) / float64(MB) }
+
+// GBValue returns the size in (binary) gigabytes as a float.
+func (b Bytes) GBValue() float64 { return float64(b) / float64(GB) }
+
+// String renders a duration with an adaptive unit. Infinite durations
+// (e.g. a disabled spin-down timeout) render as "inf".
+func (s Seconds) String() string {
+	v := float64(s)
+	switch {
+	case math.IsInf(v, 1):
+		return "inf"
+	case math.IsInf(v, -1):
+		return "-inf"
+	case v >= 1 || v == 0 || v < 0:
+		return fmt.Sprintf("%.3gs", v)
+	case v >= 1e-3:
+		return fmt.Sprintf("%.3gms", v*1e3)
+	default:
+		return fmt.Sprintf("%.3gus", v*1e6)
+	}
+}
+
+// String renders energy in joules.
+func (j Joules) String() string { return fmt.Sprintf("%.4gJ", float64(j)) }
+
+// String renders power in watts.
+func (w Watts) String() string { return fmt.Sprintf("%.4gW", float64(w)) }
+
+// ParseBytes parses a human-readable byte size such as "16GB", "64KB",
+// "512MB", or a bare byte count. Units are binary (1 KB = 1024 B) and
+// case-insensitive.
+func ParseBytes(s string) (Bytes, error) {
+	t := strings.ToUpper(strings.TrimSpace(s))
+	mult := Bytes(1)
+	switch {
+	case strings.HasSuffix(t, "GB"):
+		mult, t = GB, t[:len(t)-2]
+	case strings.HasSuffix(t, "MB"):
+		mult, t = MB, t[:len(t)-2]
+	case strings.HasSuffix(t, "KB"):
+		mult, t = KB, t[:len(t)-2]
+	case strings.HasSuffix(t, "B"):
+		t = t[:len(t)-1]
+	}
+	v, err := strconv.ParseInt(strings.TrimSpace(t), 10, 64)
+	if err != nil || v < 0 {
+		return 0, fmt.Errorf("simtime: cannot parse byte size %q", s)
+	}
+	if mult > 1 && v > math.MaxInt64/int64(mult) {
+		return 0, fmt.Errorf("simtime: byte size %q overflows", s)
+	}
+	return Bytes(v) * mult, nil
+}

@@ -1,0 +1,103 @@
+package simtime
+
+import (
+	"math"
+	"testing"
+)
+
+func TestEnergy(t *testing.T) {
+	tests := []struct {
+		p    Watts
+		d    Seconds
+		want Joules
+	}{
+		{p: 0, d: 100, want: 0},
+		{p: 6.6, d: 10, want: 66},
+		{p: 12.5, d: 0.5, want: 6.25},
+		{p: 1, d: Hour, want: 3600},
+	}
+	for _, tt := range tests {
+		if got := Energy(tt.p, tt.d); math.Abs(float64(got-tt.want)) > 1e-9 {
+			t.Errorf("Energy(%v, %v) = %v, want %v", tt.p, tt.d, got, tt.want)
+		}
+	}
+}
+
+func TestBytesString(t *testing.T) {
+	tests := []struct {
+		b    Bytes
+		want string
+	}{
+		{16 * MB, "16MB"},
+		{128 * GB, "128GB"},
+		{4 * KB, "4KB"},
+		{100, "100B"},
+		{GB + MB, "1025MB"},
+		{1536, "1536B"}, // not a whole KB multiple, falls back to bytes
+	}
+	for _, tt := range tests {
+		if got := tt.b.String(); got != tt.want {
+			t.Errorf("Bytes(%d).String() = %q, want %q", int64(tt.b), got, tt.want)
+		}
+	}
+}
+
+func TestByteValues(t *testing.T) {
+	if got := (512 * MB).MBValue(); got != 512 {
+		t.Errorf("MBValue = %g, want 512", got)
+	}
+	if got := (64 * GB).GBValue(); got != 64 {
+		t.Errorf("GBValue = %g, want 64", got)
+	}
+	if got := (512 * MB).GBValue(); got != 0.5 {
+		t.Errorf("GBValue = %g, want 0.5", got)
+	}
+}
+
+func TestSecondsString(t *testing.T) {
+	tests := []struct {
+		s    Seconds
+		want string
+	}{
+		{1.5, "1.5s"},
+		{0, "0s"},
+		{0.25, "250ms"},
+		{129e-6, "129us"},
+		{600, "600s"},
+	}
+	for _, tt := range tests {
+		if got := tt.s.String(); got != tt.want {
+			t.Errorf("Seconds(%g).String() = %q, want %q", float64(tt.s), got, tt.want)
+		}
+	}
+}
+
+func TestUnitConstants(t *testing.T) {
+	if Minute != 60 || Hour != 3600 {
+		t.Fatal("time constants wrong")
+	}
+	if KB != 1024 || MB != 1024*1024 || GB != 1024*1024*1024 {
+		t.Fatal("byte constants wrong")
+	}
+}
+
+func TestParseBytes(t *testing.T) {
+	good := []struct {
+		in   string
+		want Bytes
+	}{
+		{"16GB", 16 * GB}, {"64KB", 64 * KB}, {"512MB", 512 * MB},
+		{"100", 100}, {"100B", 100}, {" 8gb ", 8 * GB}, {"0", 0},
+	}
+	for _, tt := range good {
+		got, err := ParseBytes(tt.in)
+		if err != nil || got != tt.want {
+			t.Errorf("ParseBytes(%q) = %v, %v; want %v", tt.in, got, err, tt.want)
+		}
+	}
+	for _, in := range []string{"", "GB", "x12MB", "-4KB", "12.5MB"} {
+		if _, err := ParseBytes(in); err == nil {
+			t.Errorf("ParseBytes(%q) accepted", in)
+		}
+	}
+}

@@ -1,0 +1,142 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Histogram is a fixed-width-bin histogram over [Lo, Hi). Values outside
+// the range are clamped into the first/last bin so totals are preserved.
+type Histogram struct {
+	Lo, Hi float64
+	Counts []int64
+	total  int64
+}
+
+// NewHistogram creates a histogram with bins equal-width bins over [lo, hi).
+func NewHistogram(lo, hi float64, bins int) *Histogram {
+	if bins <= 0 {
+		panic("stats: histogram needs at least one bin")
+	}
+	if hi <= lo {
+		panic("stats: histogram needs hi > lo")
+	}
+	return &Histogram{Lo: lo, Hi: hi, Counts: make([]int64, bins)}
+}
+
+// Add records one observation.
+func (h *Histogram) Add(x float64) {
+	i := h.binOf(x)
+	h.Counts[i]++
+	h.total++
+}
+
+func (h *Histogram) binOf(x float64) int {
+	i := int((x - h.Lo) / (h.Hi - h.Lo) * float64(len(h.Counts)))
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(h.Counts) {
+		i = len(h.Counts) - 1
+	}
+	return i
+}
+
+// Total returns the number of recorded observations.
+func (h *Histogram) Total() int64 { return h.total }
+
+// BinCenter returns the midpoint value of bin i.
+func (h *Histogram) BinCenter(i int) float64 {
+	w := (h.Hi - h.Lo) / float64(len(h.Counts))
+	return h.Lo + (float64(i)+0.5)*w
+}
+
+// Quantile returns an estimate of the q-quantile (0..1) assuming uniform
+// density within bins.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.total == 0 {
+		return h.Lo
+	}
+	target := q * float64(h.total)
+	cum := 0.0
+	w := (h.Hi - h.Lo) / float64(len(h.Counts))
+	for i, c := range h.Counts {
+		next := cum + float64(c)
+		if next >= target && c > 0 {
+			frac := (target - cum) / float64(c)
+			return h.Lo + float64(i)*w + frac*w
+		}
+		cum = next
+	}
+	return h.Hi
+}
+
+// String renders a compact ASCII bar chart, useful in examples and debug
+// output.
+func (h *Histogram) String() string {
+	var b strings.Builder
+	maxC := int64(1)
+	for _, c := range h.Counts {
+		if c > maxC {
+			maxC = c
+		}
+	}
+	for i, c := range h.Counts {
+		bars := int(math.Round(float64(c) / float64(maxC) * 40))
+		fmt.Fprintf(&b, "%10.4g |%-40s| %d\n", h.BinCenter(i), strings.Repeat("#", bars), c)
+	}
+	return b.String()
+}
+
+// LogHistogram buckets positive values by order of magnitude with a fixed
+// number of sub-buckets per decade. It is used for idle-interval and
+// latency distributions, which span microseconds to hours.
+type LogHistogram struct {
+	MinExp, MaxExp int // decade range: [10^MinExp, 10^MaxExp)
+	PerDecade      int
+	Counts         []int64
+	total          int64
+	under, over    int64
+}
+
+// NewLogHistogram creates a log-scale histogram covering
+// [10^minExp, 10^maxExp) with perDecade buckets per decade.
+func NewLogHistogram(minExp, maxExp, perDecade int) *LogHistogram {
+	if maxExp <= minExp || perDecade <= 0 {
+		panic("stats: invalid log histogram shape")
+	}
+	n := (maxExp - minExp) * perDecade
+	return &LogHistogram{MinExp: minExp, MaxExp: maxExp, PerDecade: perDecade, Counts: make([]int64, n)}
+}
+
+// Add records one observation; non-positive values count as underflow.
+func (h *LogHistogram) Add(x float64) {
+	h.total++
+	if x <= 0 {
+		h.under++
+		return
+	}
+	pos := (math.Log10(x) - float64(h.MinExp)) * float64(h.PerDecade)
+	i := int(math.Floor(pos))
+	switch {
+	case i < 0:
+		h.under++
+	case i >= len(h.Counts):
+		h.over++
+	default:
+		h.Counts[i]++
+	}
+}
+
+// Total returns the number of recorded observations including overflow and
+// underflow.
+func (h *LogHistogram) Total() int64 { return h.total }
+
+// Overflow returns counts that fell outside the configured range.
+func (h *LogHistogram) Overflow() (under, over int64) { return h.under, h.over }
+
+// BucketLo returns the lower bound of bucket i.
+func (h *LogHistogram) BucketLo(i int) float64 {
+	return math.Pow(10, float64(h.MinExp)+float64(i)/float64(h.PerDecade))
+}

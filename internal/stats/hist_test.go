@@ -1,0 +1,206 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestHistogramBinning(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	for _, x := range []float64{0, 1.9, 2, 5.5, 9.99, -3, 100} {
+		h.Add(x)
+	}
+	if h.Total() != 7 {
+		t.Fatalf("Total = %d", h.Total())
+	}
+	want := []int64{3, 1, 1, 0, 2} // -3 and 0,1.9 in bin0; 2 in bin1; 5.5 in bin2; 9.99+100 in bin4
+	for i, w := range want {
+		if h.Counts[i] != w {
+			t.Errorf("bin %d = %d, want %d", i, h.Counts[i], w)
+		}
+	}
+}
+
+func TestHistogramBinCenter(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	if got := h.BinCenter(0); got != 1 {
+		t.Errorf("BinCenter(0) = %g, want 1", got)
+	}
+	if got := h.BinCenter(4); got != 9 {
+		t.Errorf("BinCenter(4) = %g, want 9", got)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram(0, 100, 10)
+	for i := 0; i < 100; i++ {
+		h.Add(float64(i))
+	}
+	med := h.Quantile(0.5)
+	if med < 40 || med > 60 {
+		t.Errorf("median = %g, want ~50", med)
+	}
+	if got := h.Quantile(0); got < 0 || got > 10 {
+		t.Errorf("q0 = %g", got)
+	}
+	empty := NewHistogram(0, 1, 4)
+	if got := empty.Quantile(0.5); got != 0 {
+		t.Errorf("empty quantile = %g", got)
+	}
+}
+
+func TestHistogramString(t *testing.T) {
+	h := NewHistogram(0, 4, 2)
+	h.Add(1)
+	h.Add(1)
+	h.Add(3)
+	s := h.String()
+	if !strings.Contains(s, "#") || strings.Count(s, "\n") != 2 {
+		t.Errorf("unexpected rendering:\n%s", s)
+	}
+}
+
+func TestHistogramPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewHistogram(0, 1, 0) },
+		func() { NewHistogram(1, 1, 3) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestLogHistogram(t *testing.T) {
+	h := NewLogHistogram(-3, 3, 2) // 1ms .. 1000s, 2 buckets/decade
+	h.Add(0.5)                     // in range
+	h.Add(0.0001)                  // underflow
+	h.Add(5000)                    // overflow
+	h.Add(-1)                      // non-positive → underflow
+	h.Add(0)
+	if h.Total() != 5 {
+		t.Fatalf("Total = %d", h.Total())
+	}
+	under, over := h.Overflow()
+	if under != 3 || over != 1 {
+		t.Errorf("under/over = %d/%d, want 3/1", under, over)
+	}
+	var inRange int64
+	for _, c := range h.Counts {
+		inRange += c
+	}
+	if inRange != 1 {
+		t.Errorf("in-range count = %d, want 1", inRange)
+	}
+}
+
+func TestLogHistogramBucketLo(t *testing.T) {
+	h := NewLogHistogram(0, 2, 1)
+	if got := h.BucketLo(0); !almost(got, 1, 1e-9) {
+		t.Errorf("BucketLo(0) = %g", got)
+	}
+	if got := h.BucketLo(1); !almost(got, 10, 1e-9) {
+		t.Errorf("BucketLo(1) = %g", got)
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	c := NewRNG(43)
+	same := true
+	a2 := NewRNG(42)
+	for i := 0; i < 10; i++ {
+		if a2.Float64() != c.Float64() {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical streams")
+	}
+}
+
+func TestRNGExpMean(t *testing.T) {
+	g := NewRNG(7)
+	var a Accumulator
+	for i := 0; i < 200000; i++ {
+		a.Add(g.Exp(3.0))
+	}
+	if !almost(a.Mean(), 3.0, 0.05) {
+		t.Errorf("Exp mean = %g, want ~3", a.Mean())
+	}
+}
+
+func TestRNGParetoBounds(t *testing.T) {
+	g := NewRNG(11)
+	for i := 0; i < 10000; i++ {
+		v := g.Pareto(2, 1.5)
+		if v < 1.5 {
+			t.Fatalf("Pareto variate %g below beta", v)
+		}
+	}
+}
+
+func TestRNGSplitIndependence(t *testing.T) {
+	g := NewRNG(1)
+	s := g.Split()
+	if s == nil {
+		t.Fatal("nil split")
+	}
+	// Parent and child streams should differ.
+	if g.Float64() == s.Float64() {
+		// One equal draw can happen by chance; check a few.
+		eq := 0
+		for i := 0; i < 5; i++ {
+			if g.Float64() == s.Float64() {
+				eq++
+			}
+		}
+		if eq == 5 {
+			t.Error("split stream mirrors parent")
+		}
+	}
+}
+
+func TestZipfDistribution(t *testing.T) {
+	g := NewRNG(3)
+	z := NewZipf(g, 100, 1.0)
+	counts := make([]int, 100)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[z.Next()]++
+	}
+	// Rank 0 should be sampled roughly 1/H_100 ≈ 19% of the time and must
+	// dominate rank 10.
+	if counts[0] < counts[10] {
+		t.Errorf("rank0=%d not dominating rank10=%d", counts[0], counts[10])
+	}
+	p0 := float64(counts[0]) / n
+	if !almost(p0, z.P(0), 0.02) {
+		t.Errorf("empirical p0 = %g, analytic %g", p0, z.P(0))
+	}
+	// CDF must be monotone and end at 1.
+	if !almost(z.cdf[len(z.cdf)-1], 1, 1e-12) {
+		t.Errorf("CDF tail = %g", z.cdf[len(z.cdf)-1])
+	}
+}
+
+func TestZipfPSumsToOne(t *testing.T) {
+	z := NewZipf(NewRNG(5), 17, 0.8)
+	sum := 0.0
+	for i := 0; i < 17; i++ {
+		sum += z.P(i)
+	}
+	if !almost(sum, 1, 1e-9) {
+		t.Errorf("sum P = %g", sum)
+	}
+}

@@ -1,0 +1,102 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+)
+
+// RNG is a deterministic random source used across the simulator. It wraps
+// math/rand with the distribution helpers the workload generator needs.
+// Every experiment seeds its own RNG so runs are reproducible and
+// independent of iteration order.
+type RNG struct {
+	r *rand.Rand
+}
+
+// NewRNG returns a deterministic RNG with the given seed.
+func NewRNG(seed int64) *RNG {
+	return &RNG{r: rand.New(rand.NewSource(seed))}
+}
+
+// Float64 returns a uniform variate in [0, 1).
+func (g *RNG) Float64() float64 { return g.r.Float64() }
+
+// Intn returns a uniform integer in [0, n).
+func (g *RNG) Intn(n int) int { return g.r.Intn(n) }
+
+// Int63n returns a uniform int64 in [0, n).
+func (g *RNG) Int63n(n int64) int64 { return g.r.Int63n(n) }
+
+// Exp returns an exponential variate with the given mean. Used for Poisson
+// request interarrival times.
+func (g *RNG) Exp(mean float64) float64 {
+	return g.r.ExpFloat64() * mean
+}
+
+// Pareto returns a Pareto(alpha, beta) variate: beta * U^(-1/alpha).
+func (g *RNG) Pareto(alpha, beta float64) float64 {
+	u := g.r.Float64()
+	for u == 0 {
+		u = g.r.Float64()
+	}
+	return beta * math.Pow(u, -1/alpha)
+}
+
+// Normal returns a normal variate with the given mean and standard
+// deviation.
+func (g *RNG) Normal(mean, sd float64) float64 {
+	return g.r.NormFloat64()*sd + mean
+}
+
+// Split derives an independent deterministic RNG from this one, for
+// components that must not perturb each other's streams.
+func (g *RNG) Split() *RNG {
+	return NewRNG(g.r.Int63())
+}
+
+// Zipf samples ranks 0..n-1 with probability proportional to
+// 1/(rank+1)^s. It precomputes the CDF once so sampling is O(log n).
+type Zipf struct {
+	cdf []float64
+	rng *RNG
+}
+
+// NewZipf builds a Zipf sampler over n ranks with exponent s > 0.
+func NewZipf(rng *RNG, n int, s float64) *Zipf {
+	if n <= 0 {
+		panic("stats: Zipf needs n > 0")
+	}
+	cdf := make([]float64, n)
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += 1 / math.Pow(float64(i+1), s)
+		cdf[i] = sum
+	}
+	for i := range cdf {
+		cdf[i] /= sum
+	}
+	return &Zipf{cdf: cdf, rng: rng}
+}
+
+// Next returns the next sampled rank.
+func (z *Zipf) Next() int {
+	u := z.rng.Float64()
+	lo, hi := 0, len(z.cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// P returns the probability mass of rank i.
+func (z *Zipf) P(i int) float64 {
+	if i == 0 {
+		return z.cdf[0]
+	}
+	return z.cdf[i] - z.cdf[i-1]
+}

@@ -1,0 +1,159 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestAccumulatorBasics(t *testing.T) {
+	var a Accumulator
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		a.Add(x)
+	}
+	if a.N() != 8 {
+		t.Fatalf("N = %d", a.N())
+	}
+	if !almost(a.Mean(), 5, 1e-12) {
+		t.Errorf("Mean = %g, want 5", a.Mean())
+	}
+	// Population variance is 4; sample variance is 32/7.
+	if !almost(a.Variance(), 32.0/7, 1e-12) {
+		t.Errorf("Variance = %g, want %g", a.Variance(), 32.0/7)
+	}
+	if a.Min() != 2 || a.Max() != 9 {
+		t.Errorf("Min/Max = %g/%g", a.Min(), a.Max())
+	}
+	if !almost(a.Sum(), 40, 1e-12) {
+		t.Errorf("Sum = %g", a.Sum())
+	}
+}
+
+func TestAccumulatorEmpty(t *testing.T) {
+	var a Accumulator
+	if a.Mean() != 0 || a.Variance() != 0 || a.Min() != 0 || a.Max() != 0 {
+		t.Error("empty accumulator should report zeros")
+	}
+}
+
+func TestAccumulatorReset(t *testing.T) {
+	var a Accumulator
+	a.Add(5)
+	a.Reset()
+	if a.N() != 0 || a.Mean() != 0 {
+		t.Error("Reset did not clear")
+	}
+}
+
+func TestAccumulatorMerge(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	var whole, a, b Accumulator
+	for i, x := range xs {
+		whole.Add(x)
+		if i < 4 {
+			a.Add(x)
+		} else {
+			b.Add(x)
+		}
+	}
+	a.Merge(&b)
+	if a.N() != whole.N() {
+		t.Fatalf("merged N = %d", a.N())
+	}
+	if !almost(a.Mean(), whole.Mean(), 1e-12) {
+		t.Errorf("merged Mean = %g, want %g", a.Mean(), whole.Mean())
+	}
+	if !almost(a.Variance(), whole.Variance(), 1e-9) {
+		t.Errorf("merged Variance = %g, want %g", a.Variance(), whole.Variance())
+	}
+	if a.Min() != 1 || a.Max() != 10 {
+		t.Errorf("merged Min/Max = %g/%g", a.Min(), a.Max())
+	}
+}
+
+func TestAccumulatorMergeEmptySides(t *testing.T) {
+	var a, b Accumulator
+	b.Add(3)
+	a.Merge(&b) // empty ← non-empty
+	if a.N() != 1 || a.Mean() != 3 {
+		t.Error("merge into empty failed")
+	}
+	var c Accumulator
+	a.Merge(&c) // non-empty ← empty
+	if a.N() != 1 {
+		t.Error("merge of empty changed state")
+	}
+}
+
+// Property: merging any split of a sequence equals accumulating the whole.
+func TestQuickMergeEquivalence(t *testing.T) {
+	f := func(xs []float64, cut uint8) bool {
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e12 {
+				return true // skip pathological float inputs
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		k := int(cut) % len(xs)
+		var whole, a, b Accumulator
+		for i, x := range xs {
+			whole.Add(x)
+			if i < k {
+				a.Add(x)
+			} else {
+				b.Add(x)
+			}
+		}
+		a.Merge(&b)
+		scale := math.Max(1, math.Abs(whole.Mean()))
+		return a.N() == whole.N() &&
+			almost(a.Mean(), whole.Mean(), 1e-6*scale) &&
+			almost(a.Sum(), whole.Sum(), 1e-6*scale*float64(len(xs)))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("Mean(nil) != 0")
+	}
+	if got := Mean([]float64{1, 2, 3}); !almost(got, 2, 1e-12) {
+		t.Errorf("Mean = %g", got)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{15, 20, 35, 40, 50}
+	tests := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 15}, {100, 50}, {50, 35}, {25, 20}, {-5, 15}, {105, 50},
+	}
+	for _, tt := range tests {
+		if got := Percentile(xs, tt.p); !almost(got, tt.want, 1e-9) {
+			t.Errorf("Percentile(%g) = %g, want %g", tt.p, got, tt.want)
+		}
+	}
+	// Interpolation between ranks.
+	if got := Percentile([]float64{10, 20}, 50); !almost(got, 15, 1e-9) {
+		t.Errorf("interpolated median = %g, want 15", got)
+	}
+	if Percentile(nil, 50) != 0 {
+		t.Error("Percentile(nil) != 0")
+	}
+}
+
+func TestPercentileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Percentile(xs, 50)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Error("Percentile mutated its input")
+	}
+}

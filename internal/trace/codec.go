@@ -1,0 +1,251 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"jointpm/internal/simtime"
+)
+
+var errEOF = io.EOF
+
+// Binary format: a fixed header followed by delta-encoded varint records.
+//
+//	magic "JPMT" | version u8 | pageSize uv | dataSetBytes uv |
+//	dataSetPages uv | files uv | duration(us) uv | count uv |
+//	then per request:
+//	  dTime(us) uv | file uv | firstPage uv | pages uv | bytes uv
+//
+// Times are stored as microsecond deltas from the previous request, which
+// varint-compresses Poisson interarrivals well.
+const (
+	binaryMagic   = "JPMT"
+	binaryVersion = 1
+)
+
+// WriteBinary encodes the trace to w in the compact binary format.
+func WriteBinary(w io.Writer, t *Trace) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(binaryMagic); err != nil {
+		return err
+	}
+	if err := bw.WriteByte(binaryVersion); err != nil {
+		return err
+	}
+	putUv := func(v uint64) {
+		var buf [binary.MaxVarintLen64]byte
+		n := binary.PutUvarint(buf[:], v)
+		bw.Write(buf[:n]) // any error surfaces at Flush
+	}
+	putUv(uint64(t.PageSize))
+	putUv(uint64(t.DataSetBytes))
+	putUv(uint64(t.DataSetPages))
+	putUv(uint64(t.Files))
+	putUv(usec(t.Duration))
+	putUv(uint64(len(t.Requests)))
+	prev := uint64(0)
+	for i := range t.Requests {
+		r := &t.Requests[i]
+		ts := usec(r.Time)
+		if ts < prev {
+			return fmt.Errorf("trace: out-of-order request %d", i)
+		}
+		putUv(ts - prev)
+		prev = ts
+		putUv(uint64(r.File))
+		putUv(uint64(r.FirstPage))
+		putUv(uint64(r.Pages))
+		putUv(uint64(r.Bytes))
+	}
+	return bw.Flush()
+}
+
+// ReadBinary decodes a trace previously written by WriteBinary.
+func ReadBinary(r io.Reader) (*Trace, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("trace: reading magic: %w", err)
+	}
+	if string(magic) != binaryMagic {
+		return nil, errors.New("trace: bad magic, not a binary trace")
+	}
+	ver, err := br.ReadByte()
+	if err != nil {
+		return nil, err
+	}
+	if ver != binaryVersion {
+		return nil, fmt.Errorf("trace: unsupported version %d", ver)
+	}
+	getUv := func() (uint64, error) { return binary.ReadUvarint(br) }
+	var t Trace
+	v, err := getUv()
+	if err != nil {
+		return nil, err
+	}
+	t.PageSize = simtime.Bytes(v)
+	if v, err = getUv(); err != nil {
+		return nil, err
+	}
+	t.DataSetBytes = simtime.Bytes(v)
+	if v, err = getUv(); err != nil {
+		return nil, err
+	}
+	t.DataSetPages = int64(v)
+	if v, err = getUv(); err != nil {
+		return nil, err
+	}
+	t.Files = int32(v)
+	if v, err = getUv(); err != nil {
+		return nil, err
+	}
+	t.Duration = fromUsec(v)
+	count, err := getUv()
+	if err != nil {
+		return nil, err
+	}
+	t.Requests = make([]Request, 0, count)
+	prev := uint64(0)
+	for i := uint64(0); i < count; i++ {
+		var req Request
+		d, err := getUv()
+		if err != nil {
+			return nil, fmt.Errorf("trace: request %d: %w", i, err)
+		}
+		prev += d
+		req.Time = fromUsec(prev)
+		if v, err = getUv(); err != nil {
+			return nil, err
+		}
+		req.File = int32(v)
+		if v, err = getUv(); err != nil {
+			return nil, err
+		}
+		req.FirstPage = int64(v)
+		if v, err = getUv(); err != nil {
+			return nil, err
+		}
+		req.Pages = int32(v)
+		if v, err = getUv(); err != nil {
+			return nil, err
+		}
+		req.Bytes = simtime.Bytes(v)
+		t.Requests = append(t.Requests, req)
+	}
+	return &t, nil
+}
+
+func usec(s simtime.Seconds) uint64 {
+	if s < 0 {
+		return 0
+	}
+	return uint64(float64(s)*1e6 + 0.5)
+}
+
+func fromUsec(u uint64) simtime.Seconds {
+	return simtime.Seconds(float64(u) / 1e6)
+}
+
+// WriteText encodes the trace in a human-readable tab-separated form with
+// a header line. Intended for inspection and for loading traces produced
+// by external tools.
+func WriteText(w io.Writer, t *Trace) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# jointpm trace pagesize=%d datasetbytes=%d datasetpages=%d files=%d duration_us=%d\n",
+		t.PageSize, t.DataSetBytes, t.DataSetPages, t.Files, usec(t.Duration))
+	fmt.Fprintln(bw, "# time_us\tfile\tfirst_page\tpages\tbytes")
+	for i := range t.Requests {
+		r := &t.Requests[i]
+		fmt.Fprintf(bw, "%d\t%d\t%d\t%d\t%d\n", usec(r.Time), r.File, r.FirstPage, r.Pages, r.Bytes)
+	}
+	return bw.Flush()
+}
+
+// ReadText decodes a trace written by WriteText.
+func ReadText(r io.Reader) (*Trace, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var t Trace
+	haveHeader := false
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		if strings.HasPrefix(text, "#") {
+			if !haveHeader && strings.Contains(text, "pagesize=") {
+				if err := parseTextHeader(text, &t); err != nil {
+					return nil, fmt.Errorf("trace: line %d: %w", line, err)
+				}
+				haveHeader = true
+			}
+			continue
+		}
+		if !haveHeader {
+			return nil, fmt.Errorf("trace: line %d: data before header", line)
+		}
+		f := strings.Fields(text)
+		if len(f) != 5 {
+			return nil, fmt.Errorf("trace: line %d: want 5 fields, got %d", line, len(f))
+		}
+		vals := make([]int64, 5)
+		for i, s := range f {
+			v, err := strconv.ParseInt(s, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("trace: line %d field %d: %w", line, i, err)
+			}
+			vals[i] = v
+		}
+		t.Requests = append(t.Requests, Request{
+			Time:      fromUsec(uint64(vals[0])),
+			File:      int32(vals[1]),
+			FirstPage: vals[2],
+			Pages:     int32(vals[3]),
+			Bytes:     simtime.Bytes(vals[4]),
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if !haveHeader {
+		return nil, errors.New("trace: missing header line")
+	}
+	return &t, nil
+}
+
+func parseTextHeader(text string, t *Trace) error {
+	for _, kv := range strings.Fields(text) {
+		eq := strings.IndexByte(kv, '=')
+		if eq < 0 {
+			continue
+		}
+		key, val := kv[:eq], kv[eq+1:]
+		n, err := strconv.ParseInt(val, 10, 64)
+		if err != nil {
+			return fmt.Errorf("header field %s: %w", key, err)
+		}
+		switch key {
+		case "pagesize":
+			t.PageSize = simtime.Bytes(n)
+		case "datasetbytes":
+			t.DataSetBytes = simtime.Bytes(n)
+		case "datasetpages":
+			t.DataSetPages = n
+		case "files":
+			t.Files = int32(n)
+		case "duration_us":
+			t.Duration = fromUsec(uint64(n))
+		}
+	}
+	if t.PageSize == 0 || t.DataSetPages == 0 {
+		return errors.New("header missing pagesize/datasetpages")
+	}
+	return nil
+}

@@ -1,0 +1,65 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadBinary feeds arbitrary bytes to the binary decoder: it must
+// never panic, and anything it accepts must re-encode losslessly.
+func FuzzReadBinary(f *testing.F) {
+	tr := sampleTrace()
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, tr); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte("JPMT"))
+	f.Add([]byte("JPMT\x01"))
+	f.Add([]byte{})
+	f.Add([]byte("garbage that is not a trace"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := ReadBinary(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Accepted input must round-trip through the encoder.
+		var out bytes.Buffer
+		if err := WriteBinary(&out, got); err != nil {
+			t.Fatalf("accepted trace failed to encode: %v", err)
+		}
+		again, err := ReadBinary(&out)
+		if err != nil {
+			t.Fatalf("re-encoded trace failed to decode: %v", err)
+		}
+		if len(again.Requests) != len(got.Requests) {
+			t.Fatalf("round trip changed request count: %d vs %d",
+				len(again.Requests), len(got.Requests))
+		}
+	})
+}
+
+// FuzzReadText is the same property for the text codec.
+func FuzzReadText(f *testing.F) {
+	tr := sampleTrace()
+	var buf bytes.Buffer
+	if err := WriteText(&buf, tr); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.String())
+	f.Add("# jointpm trace pagesize=4096 datasetbytes=1 datasetpages=4 files=1 duration_us=1\n1 0 0 1 10\n")
+	f.Add("")
+	f.Add("1 2 3 4 5")
+
+	f.Fuzz(func(t *testing.T, data string) {
+		got, err := ReadText(bytes.NewReader([]byte(data)))
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if err := WriteText(&out, got); err != nil {
+			t.Fatalf("accepted trace failed to encode: %v", err)
+		}
+	})
+}

@@ -1,0 +1,100 @@
+package trace
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"jointpm/internal/simtime"
+)
+
+// randomTrace builds a random but valid trace.
+func randomTrace(rng *rand.Rand) *Trace {
+	pageSize := simtime.Bytes(1) << (10 + rng.Intn(7)) // 1KB..64KB
+	pages := int64(16 + rng.Intn(4096))
+	t := &Trace{
+		PageSize:     pageSize,
+		DataSetBytes: simtime.Bytes(pages) * pageSize,
+		DataSetPages: pages,
+		Files:        int32(1 + rng.Intn(64)),
+		Duration:     simtime.Seconds(1 + rng.Float64()*10000),
+	}
+	now := 0.0
+	n := rng.Intn(200)
+	for i := 0; i < n; i++ {
+		now += rng.Float64() * 5
+		extent := int32(1 + rng.Intn(8))
+		first := rng.Int63n(pages - int64(extent) + 1)
+		byteLen := simtime.Bytes(extent)*pageSize - simtime.Bytes(rng.Int63n(int64(pageSize)))
+		t.Requests = append(t.Requests, Request{
+			Time:      simtime.Seconds(now),
+			File:      int32(rng.Intn(int(t.Files))),
+			FirstPage: first,
+			Pages:     extent,
+			Bytes:     byteLen,
+		})
+	}
+	if simtime.Seconds(now) > t.Duration {
+		t.Duration = simtime.Seconds(now) + 1
+	}
+	return t
+}
+
+// TestQuickBinaryRoundTrip: any valid trace survives the binary codec.
+func TestQuickBinaryRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := randomTrace(rng)
+		if err := tr.Validate(); err != nil {
+			return false
+		}
+		var buf bytes.Buffer
+		if err := WriteBinary(&buf, tr); err != nil {
+			return false
+		}
+		got, err := ReadBinary(&buf)
+		if err != nil {
+			return false
+		}
+		if len(got.Requests) != len(tr.Requests) || got.DataSetPages != tr.DataSetPages ||
+			got.PageSize != tr.PageSize || got.Files != tr.Files {
+			return false
+		}
+		for i := range tr.Requests {
+			w, g := tr.Requests[i], got.Requests[i]
+			dt := float64(g.Time - w.Time)
+			if dt > 2e-5 || dt < -2e-5 { // microsecond quantisation, accumulated
+				return false
+			}
+			w.Time, g.Time = 0, 0
+			if w != g {
+				return false
+			}
+		}
+		return got.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickTextRoundTrip: same property through the text codec.
+func TestQuickTextRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := randomTrace(rng)
+		var buf bytes.Buffer
+		if err := WriteText(&buf, tr); err != nil {
+			return false
+		}
+		got, err := ReadText(&buf)
+		if err != nil {
+			return false
+		}
+		return len(got.Requests) == len(tr.Requests) && got.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,193 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"jointpm/internal/simtime"
+	"jointpm/internal/stats"
+	"jointpm/internal/trace"
+)
+
+// TraceStats summarises the workload characteristics the paper's
+// evaluation varies (Section V-B): volume, rate, interarrival structure,
+// footprint, and popularity. The tracegen tool prints it, and tests use
+// it to validate generator and synthesizer behaviour.
+type TraceStats struct {
+	Requests    int
+	Duration    simtime.Seconds
+	MeanRate    float64 // bytes/second
+	RequestRate float64 // requests/second
+
+	InterarrivalMean simtime.Seconds
+	InterarrivalP95  simtime.Seconds
+	InterarrivalMax  simtime.Seconds
+
+	UniqueFiles  int
+	UniquePages  int64
+	FootprintPct float64 // touched pages / data-set pages
+
+	MeanRequestBytes simtime.Bytes
+	Popularity       float64 // fraction of bytes receiving 90% of accesses
+}
+
+// Analyze computes TraceStats for a trace.
+func Analyze(t *trace.Trace) TraceStats {
+	s := TraceStats{
+		Requests: len(t.Requests),
+		Duration: t.Duration,
+		MeanRate: t.MeanRate(),
+	}
+	if t.Duration > 0 {
+		s.RequestRate = float64(len(t.Requests)) / float64(t.Duration)
+	}
+	if len(t.Requests) == 0 {
+		return s
+	}
+
+	var inter []float64
+	var bytes simtime.Bytes
+	files := map[int32]bool{}
+	pages := map[int64]bool{}
+	prev := simtime.Seconds(-1)
+	for i := range t.Requests {
+		r := &t.Requests[i]
+		if prev >= 0 {
+			inter = append(inter, float64(r.Time-prev))
+		}
+		prev = r.Time
+		bytes += r.Bytes
+		files[r.File] = true
+		for k := int32(0); k < r.Pages; k++ {
+			pages[r.FirstPage+int64(k)] = true
+		}
+	}
+	s.UniqueFiles = len(files)
+	s.UniquePages = int64(len(pages))
+	if t.DataSetPages > 0 {
+		s.FootprintPct = float64(len(pages)) / float64(t.DataSetPages) * 100
+	}
+	s.MeanRequestBytes = bytes / simtime.Bytes(len(t.Requests))
+	if len(inter) > 0 {
+		s.InterarrivalMean = simtime.Seconds(stats.Mean(inter))
+		sort.Float64s(inter)
+		s.InterarrivalP95 = simtime.Seconds(stats.PercentileSorted(inter, 95))
+		s.InterarrivalMax = simtime.Seconds(inter[len(inter)-1])
+	}
+	s.Popularity = PopularityOf(t)
+	return s
+}
+
+// String renders the summary as a small report.
+func (s TraceStats) String() string {
+	return fmt.Sprintf(
+		"requests=%d over %v (%.3g req/s, %.3g MB/s)\n"+
+			"interarrival mean=%v p95=%v max=%v\n"+
+			"footprint: %d files, %d pages (%.1f%% of data set), mean request %v\n"+
+			"popularity: %.3f of bytes receive 90%% of accesses",
+		s.Requests, s.Duration, s.RequestRate, s.MeanRate/float64(simtime.MB),
+		s.InterarrivalMean, s.InterarrivalP95, s.InterarrivalMax,
+		s.UniqueFiles, s.UniquePages, s.FootprintPct, s.MeanRequestBytes,
+		s.Popularity)
+}
+
+// Modulation shapes the request rate over time, multiplying the
+// configured base rate. The paper keeps rates constant within a run;
+// these profiles support studies of the joint manager under the varying
+// server load its introduction motivates ("the varying workload of
+// server systems provides opportunities...").
+type Modulation interface {
+	// Factor returns the rate multiplier at time t (must be > 0).
+	Factor(t simtime.Seconds) float64
+}
+
+// Diurnal is a day/night sine profile: factor swings between 1−Amplitude
+// and 1+Amplitude over each cycle, peaking at Peak into the cycle.
+type Diurnal struct {
+	CycleLength simtime.Seconds // e.g. 24h scaled to the run length
+	Amplitude   float64         // 0 ≤ A < 1
+	Peak        simtime.Seconds // offset of the maximum within the cycle
+}
+
+// Factor implements Modulation.
+func (d Diurnal) Factor(t simtime.Seconds) float64 {
+	if d.CycleLength <= 0 {
+		return 1
+	}
+	phase := 2 * math.Pi * float64(t-d.Peak) / float64(d.CycleLength)
+	f := 1 + d.Amplitude*math.Cos(phase)
+	if f < 0.01 {
+		f = 0.01
+	}
+	return f
+}
+
+// OnOff is a two-state burst profile: the rate alternates between
+// OnFactor for OnSpan and OffFactor for OffSpan, modelling batch arrivals
+// and quiet troughs.
+type OnOff struct {
+	OnSpan, OffSpan     simtime.Seconds
+	OnFactor, OffFactor float64
+}
+
+// Factor implements Modulation.
+func (o OnOff) Factor(t simtime.Seconds) float64 {
+	cycle := o.OnSpan + o.OffSpan
+	if cycle <= 0 {
+		return 1
+	}
+	into := math.Mod(float64(t), float64(cycle))
+	if into < float64(o.OnSpan) {
+		return o.OnFactor
+	}
+	return o.OffFactor
+}
+
+// Modulate reshapes a trace's arrival times so its instantaneous rate
+// follows the profile while the total request count is preserved. It
+// works by warping time: a span where Factor is 2 passes requests twice
+// as fast. The trace duration is preserved exactly; the factor profile
+// is renormalised so the mean rate is unchanged.
+func Modulate(t *trace.Trace, m Modulation) *trace.Trace {
+	out := t.Clone()
+	if len(out.Requests) == 0 || out.Duration <= 0 {
+		return out
+	}
+	// Integrate the factor over the duration on a fine grid to build the
+	// warp: W(t) = ∫ f / mean(f). Requests at original time x move to
+	// W⁻¹(x)-style positions: we map uniformly-paced "work units" through
+	// the inverse of the cumulative factor.
+	const steps = 4096
+	dt := float64(out.Duration) / steps
+	cum := make([]float64, steps+1)
+	for i := 1; i <= steps; i++ {
+		mid := simtime.Seconds((float64(i) - 0.5) * dt)
+		cum[i] = cum[i-1] + m.Factor(mid)*dt
+	}
+	total := cum[steps]
+	// invWarp maps cumulative work w (0..duration, after normalisation)
+	// back to wall time.
+	invWarp := func(w float64) float64 {
+		target := w / float64(out.Duration) * total
+		lo, hi := 0, steps
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if cum[mid] < target {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		if lo == 0 {
+			return 0
+		}
+		// Linear interpolation within the step.
+		frac := (target - cum[lo-1]) / (cum[lo] - cum[lo-1])
+		return (float64(lo-1) + frac) * dt
+	}
+	for i := range out.Requests {
+		out.Requests[i].Time = simtime.Seconds(invWarp(float64(t.Requests[i].Time)))
+	}
+	return out
+}

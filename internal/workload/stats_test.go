@@ -1,0 +1,198 @@
+package workload
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"jointpm/internal/trace"
+)
+
+func TestAnalyze(t *testing.T) {
+	tr, err := Generate(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := Analyze(tr)
+	if s.Requests != len(tr.Requests) {
+		t.Errorf("requests = %d", s.Requests)
+	}
+	if math.Abs(s.MeanRate-tr.MeanRate()) > 1e-9 {
+		t.Errorf("rate = %g", s.MeanRate)
+	}
+	if s.UniqueFiles <= 0 || s.UniquePages <= 0 {
+		t.Error("no footprint")
+	}
+	if s.FootprintPct <= 0 || s.FootprintPct > 100 {
+		t.Errorf("footprint = %g%%", s.FootprintPct)
+	}
+	if s.InterarrivalMean <= 0 || s.InterarrivalP95 < s.InterarrivalMean {
+		t.Errorf("interarrival stats: mean %v p95 %v", s.InterarrivalMean, s.InterarrivalP95)
+	}
+	if s.Popularity <= 0 {
+		t.Error("no popularity")
+	}
+	if !strings.Contains(s.String(), "popularity") {
+		t.Error("String() incomplete")
+	}
+}
+
+func TestAnalyzeEmpty(t *testing.T) {
+	s := Analyze(&trace.Trace{Duration: 10, DataSetPages: 4, PageSize: 4096})
+	if s.Requests != 0 || s.UniquePages != 0 {
+		t.Error("phantom stats")
+	}
+}
+
+func TestDiurnalFactor(t *testing.T) {
+	d := Diurnal{CycleLength: 100, Amplitude: 0.5, Peak: 0}
+	if got := d.Factor(0); math.Abs(got-1.5) > 1e-9 {
+		t.Errorf("peak factor = %g", got)
+	}
+	if got := d.Factor(50); math.Abs(got-0.5) > 1e-9 {
+		t.Errorf("trough factor = %g", got)
+	}
+	if got := d.Factor(100); math.Abs(got-1.5) > 1e-9 {
+		t.Errorf("cycle wrap = %g", got)
+	}
+	// Degenerate config is safe.
+	if (Diurnal{}).Factor(5) != 1 {
+		t.Error("zero-cycle diurnal not neutral")
+	}
+}
+
+func TestOnOffFactor(t *testing.T) {
+	o := OnOff{OnSpan: 10, OffSpan: 30, OnFactor: 3, OffFactor: 0.2}
+	if o.Factor(5) != 3 || o.Factor(15) != 0.2 || o.Factor(45) != 3 {
+		t.Error("on/off phases wrong")
+	}
+	if (OnOff{}).Factor(1) != 1 {
+		t.Error("zero-cycle on/off not neutral")
+	}
+}
+
+func TestModulatePreservesCountAndDuration(t *testing.T) {
+	tr, err := Generate(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Modulate(tr, Diurnal{CycleLength: tr.Duration, Amplitude: 0.8})
+	if len(out.Requests) != len(tr.Requests) {
+		t.Fatal("request count changed")
+	}
+	if err := out.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if out.Requests[len(out.Requests)-1].Time > out.Duration {
+		t.Error("request past duration")
+	}
+	// Source untouched.
+	if tr.Requests[0].Time != out.Requests[0].Time && tr.Requests[0].Time < 0 {
+		t.Error("source mutated")
+	}
+}
+
+func TestModulateShiftsLoad(t *testing.T) {
+	tr, err := Generate(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Half a cycle across the run with the peak at the start: the factor
+	// decays monotonically from 1.9 to 0.1, so the first half must carry
+	// clearly more requests than the second.
+	out := Modulate(tr, Diurnal{CycleLength: 2 * tr.Duration, Amplitude: 0.9, Peak: 0})
+	half := out.Duration / 2
+	first := 0
+	for i := range out.Requests {
+		if out.Requests[i].Time < half {
+			first++
+		}
+	}
+	frac := float64(first) / float64(len(out.Requests))
+	if frac < 0.6 {
+		t.Errorf("first-half share = %.2f, want > 0.6 with peak-at-start", frac)
+	}
+}
+
+func TestModulateBursts(t *testing.T) {
+	tr, err := Generate(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Modulate(tr, OnOff{OnSpan: 30, OffSpan: 30, OnFactor: 5, OffFactor: 0.1})
+	if err := out.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Count requests in on vs off windows.
+	var on, off int
+	for i := range out.Requests {
+		into := math.Mod(float64(out.Requests[i].Time), 60)
+		if into < 30 {
+			on++
+		} else {
+			off++
+		}
+	}
+	if on <= off*3 {
+		t.Errorf("bursting weak: on=%d off=%d", on, off)
+	}
+}
+
+func TestModulateEmptyTrace(t *testing.T) {
+	tr := &trace.Trace{PageSize: 4096, DataSetBytes: 4096, DataSetPages: 1, Files: 1, Duration: 10}
+	out := Modulate(tr, Diurnal{CycleLength: 10, Amplitude: 0.5})
+	if len(out.Requests) != 0 {
+		t.Error("phantom requests")
+	}
+}
+
+func TestMergeTraces(t *testing.T) {
+	a, err := Generate(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgB := smallConfig()
+	cfgB.Seed = 99
+	cfgB.DataSetBytes = 32 * 1024 * 1024
+	b, err := Generate(cfgB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Merge(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Requests) != len(a.Requests)+len(b.Requests) {
+		t.Fatalf("merged %d requests, want %d", len(m.Requests),
+			len(a.Requests)+len(b.Requests))
+	}
+	if m.DataSetPages != a.DataSetPages+b.DataSetPages {
+		t.Error("page namespaces not combined")
+	}
+	if m.Files != a.Files+b.Files {
+		t.Error("file namespaces not combined")
+	}
+	// Tenants must not alias pages: b's requests all land beyond a's pages.
+	for i := range m.Requests {
+		r := &m.Requests[i]
+		if r.File >= a.Files && r.FirstPage < a.DataSetPages {
+			t.Fatal("tenant pages alias")
+		}
+	}
+}
+
+func TestMergeRejects(t *testing.T) {
+	if _, err := Merge(); err == nil {
+		t.Error("empty merge accepted")
+	}
+	a, _ := Generate(smallConfig())
+	cfgB := smallConfig()
+	cfgB.PageSize = 32 * 1024
+	b, _ := Generate(cfgB)
+	if _, err := Merge(a, b); err == nil {
+		t.Error("mixed page sizes accepted")
+	}
+}

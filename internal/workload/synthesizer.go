@@ -1,0 +1,261 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"jointpm/internal/simtime"
+	"jointpm/internal/stats"
+	"jointpm/internal/trace"
+)
+
+// Synthesizer transforms a base trace to vary one workload characteristic
+// while holding the others, the role the paper gives its synthesizer
+// (Section V-A): "the synthesizer can vary individual characteristics
+// separately".
+type Synthesizer struct {
+	rng *stats.RNG
+}
+
+// NewSynthesizer returns a deterministic synthesizer.
+func NewSynthesizer(seed int64) *Synthesizer {
+	return &Synthesizer{rng: stats.NewRNG(seed)}
+}
+
+// ScaleRate returns a copy of t with the offered byte rate multiplied by
+// factor. Following the paper, "to increase the data rate, the
+// synthesizer reduces the time interval between any two consecutive
+// accesses" — interarrival gaps are divided by factor, so a factor of 2
+// doubles the rate and halves the duration-normalised spacing. The trace
+// duration shrinks/stretches accordingly.
+func (s *Synthesizer) ScaleRate(t *trace.Trace, factor float64) (*trace.Trace, error) {
+	if factor <= 0 {
+		return nil, fmt.Errorf("workload: rate factor %g must be positive", factor)
+	}
+	out := t.Clone()
+	prevIn := simtime.Seconds(0)
+	now := simtime.Seconds(0)
+	for i := range out.Requests {
+		gap := t.Requests[i].Time - prevIn
+		prevIn = t.Requests[i].Time
+		now += simtime.Seconds(float64(gap) / factor)
+		out.Requests[i].Time = now
+	}
+	out.Duration = simtime.Seconds(float64(t.Duration) / factor)
+	return out, nil
+}
+
+// ScaleDataSet returns a copy of t with the data set enlarged by factor,
+// which must be a power of two. Per the paper, enlarging by 4 doubles
+// both the number of files and the size of each file; odd powers put the
+// extra doubling into the file count. Each access to file f is redirected
+// to one of the countScale replicas of f (chosen by an affine hash of the
+// request index so replicas receive balanced, deterministic shares), and
+// page extents grow by sizeScale.
+func (s *Synthesizer) ScaleDataSet(t *trace.Trace, factor int) (*trace.Trace, error) {
+	if factor < 1 || factor&(factor-1) != 0 {
+		return nil, fmt.Errorf("workload: data-set factor %d must be a positive power of two", factor)
+	}
+	e := 0
+	for f := factor; f > 1; f >>= 1 {
+		e++
+	}
+	sizeScale := 1 << (e / 2)
+	countScale := 1 << (e - e/2)
+
+	out := t.Clone()
+	out.DataSetBytes = t.DataSetBytes * simtime.Bytes(factor)
+	out.DataSetPages = t.DataSetPages * int64(factor)
+	out.Files = t.Files * int32(countScale)
+	// Replica r of file f occupies pages
+	// [(f's first)*factor + r*pages*sizeScale, ...+pages*sizeScale).
+	for i := range out.Requests {
+		r := &out.Requests[i]
+		rep := s.rng.Intn(countScale)
+		base := r.FirstPage * int64(factor)
+		span := int64(r.Pages) * int64(sizeScale)
+		r.FirstPage = base + int64(rep)*span
+		r.Pages *= int32(sizeScale)
+		r.Bytes *= simtime.Bytes(sizeScale)
+		r.File = r.File*int32(countScale) + int32(rep)
+	}
+	return out, nil
+}
+
+// SetPopularity returns a copy of t whose popularity (fraction of
+// data-set bytes receiving 90% of accesses) is approximately target. Per
+// the paper, denser popularity is obtained "by replacing the accesses to
+// less popular pages with the accesses to more popular pages"; this
+// implementation also supports sparser targets by redirecting in the
+// other direction.
+func (s *Synthesizer) SetPopularity(t *trace.Trace, target float64) (*trace.Trace, error) {
+	if target <= 0 || target > 1 {
+		return nil, fmt.Errorf("workload: popularity target %g outside (0,1]", target)
+	}
+	infos := map[int32]*fileInfo{}
+	for i := range t.Requests {
+		r := &t.Requests[i]
+		fi := infos[r.File]
+		if fi == nil {
+			fi = &fileInfo{id: r.File, pages: int64(r.Pages), first: r.FirstPage, bytes: r.Bytes}
+			infos[r.File] = fi
+		}
+		fi.count++
+	}
+	ranked := make([]*fileInfo, 0, len(infos))
+	for _, fi := range infos {
+		ranked = append(ranked, fi)
+	}
+	sort.Slice(ranked, func(i, j int) bool {
+		if ranked[i].count != ranked[j].count {
+			return ranked[i].count > ranked[j].count
+		}
+		return ranked[i].id < ranked[j].id
+	})
+	// The new hot set: most-accessed files covering ~target of the bytes.
+	targetPages := int64(math.Ceil(float64(t.DataSetPages) * target))
+	hot := map[int32]bool{}
+	hotList := []*fileInfo{}
+	var hotPages, hotCount int64
+	for _, fi := range ranked {
+		if hotPages >= targetPages {
+			break
+		}
+		hot[fi.id] = true
+		hotList = append(hotList, fi)
+		hotPages += fi.pages
+		hotCount += fi.count
+	}
+	coldList := []*fileInfo{}
+	for _, fi := range ranked {
+		if !hot[fi.id] {
+			coldList = append(coldList, fi)
+		}
+	}
+	total := int64(len(t.Requests))
+	if total == 0 || len(hotList) == 0 {
+		return t.Clone(), nil
+	}
+	share := float64(hotCount) / float64(total)
+	out := t.Clone()
+	switch {
+	case share < HotShare && len(coldList) > 0:
+		// Densify: redirect cold accesses into the hot set.
+		p := (HotShare - share) / (1 - share)
+		for i := range out.Requests {
+			r := &out.Requests[i]
+			if !hot[r.File] && s.rng.Float64() < p {
+				redirect(r, hotList[weightedPick(s.rng, hotList)])
+			}
+		}
+	case share > HotShare && len(coldList) > 0:
+		// Sparsify: push surplus hot accesses out to cold files.
+		p := (share - HotShare) / share
+		for i := range out.Requests {
+			r := &out.Requests[i]
+			if hot[r.File] && s.rng.Float64() < p {
+				redirect(r, coldList[s.rng.Intn(len(coldList))])
+			}
+		}
+	}
+	return out, nil
+}
+
+// fileInfo summarises one file's footprint and access count within a
+// trace; the popularity transform works over these summaries.
+type fileInfo struct {
+	id    int32
+	count int64
+	pages int64
+	first int64
+	bytes simtime.Bytes
+}
+
+// redirect rewrites a request to target a different file, preserving the
+// arrival time.
+func redirect(r *trace.Request, fi *fileInfo) {
+	r.File = fi.id
+	r.FirstPage = fi.first
+	r.Pages = int32(fi.pages)
+	r.Bytes = fi.bytes
+}
+
+// weightedPick samples an index proportionally to access count, keeping
+// the hot set internally skewed the way the base trace was.
+func weightedPick(rng *stats.RNG, list []*fileInfo) int {
+	var total int64
+	for _, fi := range list {
+		total += fi.count
+	}
+	x := rng.Int63n(total)
+	for i, fi := range list {
+		x -= fi.count
+		if x < 0 {
+			return i
+		}
+	}
+	return len(list) - 1
+}
+
+// Merge interleaves several traces into one, as when consolidating
+// multiple services onto one server (the server-cluster setting of the
+// paper's Section II-B). Each input keeps its own files and pages: file
+// ids and page ranges are remapped into disjoint regions of a combined
+// namespace. The output duration is the longest input's.
+func Merge(traces ...*trace.Trace) (*trace.Trace, error) {
+	if len(traces) == 0 {
+		return nil, fmt.Errorf("workload: nothing to merge")
+	}
+	ps := traces[0].PageSize
+	out := &trace.Trace{PageSize: ps}
+	var pageBase int64
+	var fileBase int32
+	type cursor struct {
+		tr      *trace.Trace
+		idx     int
+		pageOff int64
+		fileOff int32
+	}
+	cursors := make([]cursor, 0, len(traces))
+	total := 0
+	for _, t := range traces {
+		if t.PageSize != ps {
+			return nil, fmt.Errorf("workload: mixed page sizes %v and %v", ps, t.PageSize)
+		}
+		cursors = append(cursors, cursor{tr: t, pageOff: pageBase, fileOff: fileBase})
+		pageBase += t.DataSetPages
+		fileBase += t.Files
+		out.DataSetBytes += t.DataSetBytes
+		out.DataSetPages += t.DataSetPages
+		out.Files += t.Files
+		if t.Duration > out.Duration {
+			out.Duration = t.Duration
+		}
+		total += len(t.Requests)
+	}
+	out.Requests = make([]trace.Request, 0, total)
+	// K-way merge by arrival time.
+	for {
+		best := -1
+		for i := range cursors {
+			c := &cursors[i]
+			if c.idx >= len(c.tr.Requests) {
+				continue
+			}
+			if best < 0 || c.tr.Requests[c.idx].Time < cursors[best].tr.Requests[cursors[best].idx].Time {
+				best = i
+			}
+		}
+		if best < 0 {
+			break
+		}
+		c := &cursors[best]
+		r := c.tr.Requests[c.idx]
+		r.FirstPage += c.pageOff
+		r.File += c.fileOff
+		out.Requests = append(out.Requests, r)
+		c.idx++
+	}
+	return out, nil
+}

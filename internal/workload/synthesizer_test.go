@@ -1,0 +1,185 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"jointpm/internal/simtime"
+	"jointpm/internal/trace"
+)
+
+func baseTrace(t *testing.T) *trace.Trace {
+	t.Helper()
+	tr, err := Generate(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestScaleRateUp(t *testing.T) {
+	tr := baseTrace(t)
+	s := NewSynthesizer(1)
+	out, err := s.ScaleRate(tr, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := out.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(out.MeanRate()-2*tr.MeanRate())/(2*tr.MeanRate()) > 0.01 {
+		t.Errorf("rate %g, want %g", out.MeanRate(), 2*tr.MeanRate())
+	}
+	if math.Abs(float64(out.Duration)-float64(tr.Duration)/2) > 1e-6 {
+		t.Errorf("duration %v, want %v", out.Duration, tr.Duration/2)
+	}
+	// Source unchanged.
+	if tr.Requests[0].Time != baseTrace(t).Requests[0].Time {
+		t.Error("source trace mutated")
+	}
+}
+
+func TestScaleRateDown(t *testing.T) {
+	tr := baseTrace(t)
+	s := NewSynthesizer(1)
+	out, err := s.ScaleRate(tr, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(out.MeanRate()-0.5*tr.MeanRate())/(0.5*tr.MeanRate()) > 0.01 {
+		t.Errorf("rate %g, want %g", out.MeanRate(), 0.5*tr.MeanRate())
+	}
+}
+
+func TestScaleRateRejects(t *testing.T) {
+	tr := baseTrace(t)
+	s := NewSynthesizer(1)
+	if _, err := s.ScaleRate(tr, 0); err == nil {
+		t.Error("factor 0 accepted")
+	}
+	if _, err := s.ScaleRate(tr, -1); err == nil {
+		t.Error("negative factor accepted")
+	}
+}
+
+func TestScaleDataSet(t *testing.T) {
+	tr := baseTrace(t)
+	s := NewSynthesizer(1)
+	for _, factor := range []int{1, 2, 4, 8, 16} {
+		out, err := s.ScaleDataSet(tr, factor)
+		if err != nil {
+			t.Fatalf("factor %d: %v", factor, err)
+		}
+		if err := out.Validate(); err != nil {
+			t.Fatalf("factor %d: %v", factor, err)
+		}
+		if out.DataSetBytes != tr.DataSetBytes*simtime.Bytes(factor) {
+			t.Errorf("factor %d: bytes %d", factor, out.DataSetBytes)
+		}
+		if out.DataSetPages != tr.DataSetPages*int64(factor) {
+			t.Errorf("factor %d: pages %d", factor, out.DataSetPages)
+		}
+		if len(out.Requests) != len(tr.Requests) {
+			t.Errorf("factor %d: request count changed", factor)
+		}
+	}
+}
+
+func TestScaleDataSetFactor4DoublesBoth(t *testing.T) {
+	tr := baseTrace(t)
+	s := NewSynthesizer(1)
+	out, err := s.ScaleDataSet(tr, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Files != tr.Files*2 {
+		t.Errorf("files %d, want doubled %d", out.Files, tr.Files*2)
+	}
+	// Per-request page extents doubled.
+	for i := range tr.Requests {
+		if out.Requests[i].Pages != tr.Requests[i].Pages*2 {
+			t.Fatalf("request %d pages %d, want %d", i, out.Requests[i].Pages, tr.Requests[i].Pages*2)
+		}
+	}
+}
+
+func TestScaleDataSetRejects(t *testing.T) {
+	tr := baseTrace(t)
+	s := NewSynthesizer(1)
+	for _, f := range []int{0, -2, 3, 6} {
+		if _, err := s.ScaleDataSet(tr, f); err == nil {
+			t.Errorf("factor %d accepted", f)
+		}
+	}
+}
+
+func TestSetPopularityDensify(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Popularity = 0.4
+	cfg.Duration = 600
+	tr, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := PopularityOf(tr)
+	s := NewSynthesizer(2)
+	out, err := s.SetPopularity(tr, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := out.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	after := PopularityOf(out)
+	if after >= before {
+		t.Errorf("densify did not reduce popularity: %g -> %g", before, after)
+	}
+}
+
+func TestSetPopularitySparsify(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Popularity = 0.05
+	cfg.Duration = 600
+	tr, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := PopularityOf(tr)
+	s := NewSynthesizer(2)
+	out, err := s.SetPopularity(tr, 0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := PopularityOf(out)
+	if after <= before {
+		t.Errorf("sparsify did not raise popularity: %g -> %g", before, after)
+	}
+}
+
+func TestSetPopularityRejects(t *testing.T) {
+	tr := baseTrace(t)
+	s := NewSynthesizer(1)
+	if _, err := s.SetPopularity(tr, 0); err == nil {
+		t.Error("target 0 accepted")
+	}
+	if _, err := s.SetPopularity(tr, 1.2); err == nil {
+		t.Error("target > 1 accepted")
+	}
+}
+
+func TestSetPopularityPreservesVolume(t *testing.T) {
+	tr := baseTrace(t)
+	s := NewSynthesizer(1)
+	out, err := s.SetPopularity(tr, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Requests) != len(tr.Requests) {
+		t.Error("request count changed")
+	}
+	for i := range out.Requests {
+		if out.Requests[i].Time != tr.Requests[i].Time {
+			t.Fatal("arrival times changed")
+		}
+	}
+}
