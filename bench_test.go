@@ -64,18 +64,54 @@ func benchExperiment(b *testing.B, id string) {
 	}
 }
 
+// benchSweepExperiment runs one registered sweep per iteration and
+// reports the joint method's headline numbers at the last (hardest) sweep
+// point as custom metrics: normalised total energy (% of always-on) and
+// long-latency rate. A perf change that alters these metrics changed the
+// reproduction's shape, not just its speed.
+func benchSweepExperiment(b *testing.B, id string) {
+	b.Helper()
+	s := quickScale()
+	sw, ok := experiments.Sweeps[id]
+	if !ok {
+		b.Fatalf("%q is not a sweep experiment", id)
+	}
+	var points []*experiments.Point
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		points, err = sw.Produce(s, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := sw.Render(points, io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if len(points) > 0 {
+		last := points[len(points)-1]
+		for _, r := range last.Rows {
+			if r.Method.IsJoint() {
+				b.ReportMetric(r.TotalPct, "joint-energy-%")
+				b.ReportMetric(r.Result.DelayedPerSecond(), "delayed/s")
+			}
+		}
+	}
+}
+
 // BenchmarkFig7DataSetSweep regenerates Fig. 7(a)–(f): 16 methods across
 // five data-set sizes.
-func BenchmarkFig7DataSetSweep(b *testing.B) { benchExperiment(b, "fig7") }
+func BenchmarkFig7DataSetSweep(b *testing.B) { benchSweepExperiment(b, "fig7") }
 
 // BenchmarkTable3AccessCounts regenerates Table III from the same sweep.
 func BenchmarkTable3AccessCounts(b *testing.B) { benchExperiment(b, "table3") }
 
 // BenchmarkFig8RateSweep regenerates Fig. 8(a),(b).
-func BenchmarkFig8RateSweep(b *testing.B) { benchExperiment(b, "fig8rate") }
+func BenchmarkFig8RateSweep(b *testing.B) { benchSweepExperiment(b, "fig8rate") }
 
 // BenchmarkFig8PopularitySweep regenerates Fig. 8(c),(d).
-func BenchmarkFig8PopularitySweep(b *testing.B) { benchExperiment(b, "fig8pop") }
+func BenchmarkFig8PopularitySweep(b *testing.B) { benchSweepExperiment(b, "fig8pop") }
 
 // BenchmarkTable4PeriodSensitivity regenerates Table IV.
 func BenchmarkTable4PeriodSensitivity(b *testing.B) { benchExperiment(b, "table4") }

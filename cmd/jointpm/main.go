@@ -19,19 +19,22 @@ import (
 	"time"
 
 	"jointpm/internal/experiments"
+	"jointpm/internal/profiling"
 	"jointpm/internal/simtime"
 )
 
 func main() {
 	var (
-		exp     = flag.String("exp", "", "experiment id (or \"all\")")
-		scale   = flag.String("scale", "paper", "dimension preset: paper or quick")
-		horizon = flag.Float64("horizon", 0, "metered simulated seconds per run (0 = preset default)")
-		seed    = flag.Int64("seed", 1, "workload seed")
-		list    = flag.Bool("list", false, "list experiments and exit")
-		check   = flag.Bool("check", false, "evaluate the paper's shape claims after sweep experiments")
-		csvPath = flag.String("csv", "", "also export sweep experiments to CSV files under this directory")
-		seeds   = flag.Int("seeds", 0, "replicate sweep experiments over N seeds and report mean±sd")
+		exp        = flag.String("exp", "", "experiment id (or \"all\")")
+		scale      = flag.String("scale", "paper", "dimension preset: paper or quick")
+		horizon    = flag.Float64("horizon", 0, "metered simulated seconds per run (0 = preset default)")
+		seed       = flag.Int64("seed", 1, "workload seed")
+		list       = flag.Bool("list", false, "list experiments and exit")
+		check      = flag.Bool("check", false, "evaluate the paper's shape claims after sweep experiments")
+		csvPath    = flag.String("csv", "", "also export sweep experiments to CSV files under this directory")
+		seeds      = flag.Int("seeds", 0, "replicate sweep experiments over N seeds and report mean±sd")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 
@@ -52,8 +55,26 @@ func main() {
 		fatal(err)
 	}
 
-	ids := []string{*exp}
-	if *exp == "all" {
+	stopProfiles, err := profiling.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fatal(err)
+	}
+	failedClaims := run(s, *exp, *seed, *seeds, *check, *csvPath)
+	if err := stopProfiles(); err != nil {
+		fatal(err)
+	}
+	if failedClaims > 0 {
+		fmt.Printf("\n%d claim(s) FAILED\n", failedClaims)
+		os.Exit(1)
+	}
+}
+
+// run executes the selected experiments and returns the number of failed
+// shape claims (profile flushing must happen after it, so it never calls
+// os.Exit on that path).
+func run(s experiments.Scale, exp string, seed int64, seeds int, check bool, csvPath string) (failedClaims int) {
+	ids := []string{exp}
+	if exp == "all" {
 		ids = experiments.IDs()
 	}
 	for _, id := range ids {
@@ -61,43 +82,41 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Printf("=== %s (%s) — scale %s, seed %d ===\n", e.ID, e.Paper, s.Name, *seed)
+		fmt.Printf("=== %s (%s) — scale %s, seed %d ===\n", e.ID, e.Paper, s.Name, seed)
 		start := time.Now()
 		_, isSweep := experiments.Sweeps[id]
-		if isSweep && *seeds >= 2 {
-			list := make([]int64, *seeds)
+		if isSweep && seeds >= 2 {
+			list := make([]int64, seeds)
 			for i := range list {
-				list[i] = *seed + int64(i)
+				list[i] = seed + int64(i)
 			}
 			if err := experiments.RunSweepReplicated(id, s, list, os.Stdout); err != nil {
 				fatal(fmt.Errorf("%s: %w", id, err))
 			}
-		} else if isSweep && (*check || *csvPath != "") {
+		} else if isSweep && (check || csvPath != "") {
 			var csvW io.Writer
-			if *csvPath != "" {
-				if err := os.MkdirAll(*csvPath, 0o755); err != nil {
+			if csvPath != "" {
+				if err := os.MkdirAll(csvPath, 0o755); err != nil {
 					fatal(err)
 				}
-				f, err := os.Create(filepath.Join(*csvPath, id+".csv"))
+				f, err := os.Create(filepath.Join(csvPath, id+".csv"))
 				if err != nil {
 					fatal(err)
 				}
 				defer f.Close()
 				csvW = f
 			}
-			failed, err := experiments.RunSweep(id, s, *seed, os.Stdout, csvW, *check)
+			failed, err := experiments.RunSweep(id, s, seed, os.Stdout, csvW, check)
 			if err != nil {
 				fatal(fmt.Errorf("%s: %w", id, err))
 			}
-			if failed > 0 {
-				defer os.Exit(1)
-				fmt.Printf("\n%d claim(s) FAILED\n", failed)
-			}
-		} else if err := e.Run(s, *seed, os.Stdout); err != nil {
+			failedClaims += failed
+		} else if err := e.Run(s, seed, os.Stdout); err != nil {
 			fatal(fmt.Errorf("%s: %w", id, err))
 		}
 		fmt.Printf("\n[%s completed in %v]\n\n", id, time.Since(start).Round(time.Millisecond))
 	}
+	return failedClaims
 }
 
 func buildScale(name string, horizon float64) (experiments.Scale, error) {

@@ -18,6 +18,7 @@ import (
 
 	"jointpm/internal/core"
 	"jointpm/internal/policy"
+	"jointpm/internal/profiling"
 	"jointpm/internal/sim"
 	"jointpm/internal/simtime"
 	"jointpm/internal/trace"
@@ -25,14 +26,16 @@ import (
 
 func main() {
 	var (
-		tracePath = flag.String("trace", "", "binary trace file (required)")
-		method    = flag.String("method", "JOINT", "method name, e.g. JOINT, ALWAYS-ON, 2TFM-16GB, ADPD-128GB")
-		memTotal  = flag.String("mem", "128GB", "installed physical memory")
-		bank      = flag.String("bank", "16MB", "memory bank size")
-		period    = flag.Float64("period", 600, "adaptation period in seconds")
-		warmup    = flag.Float64("warmup", 0, "warmup seconds excluded from metrics")
-		delayCap  = flag.Float64("delaycap", 0.001, "joint delayed-request ratio cap D")
-		periods   = flag.Bool("periods", false, "also print per-period rows")
+		tracePath  = flag.String("trace", "", "binary trace file (required)")
+		method     = flag.String("method", "JOINT", "method name, e.g. JOINT, ALWAYS-ON, 2TFM-16GB, ADPD-128GB")
+		memTotal   = flag.String("mem", "128GB", "installed physical memory")
+		bank       = flag.String("bank", "16MB", "memory bank size")
+		period     = flag.Float64("period", 600, "adaptation period in seconds")
+		warmup     = flag.Float64("warmup", 0, "warmup seconds excluded from metrics")
+		delayCap   = flag.Float64("delaycap", 0.001, "joint delayed-request ratio cap D")
+		periods    = flag.Bool("periods", false, "also print per-period rows")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 	if *tracePath == "" {
@@ -66,6 +69,10 @@ func main() {
 		m.MemBytes = installed
 	}
 
+	stopProfiles, err := profiling.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fatal(err)
+	}
 	res, err := sim.Run(sim.Config{
 		Trace:        tr,
 		Method:       m,
@@ -75,6 +82,9 @@ func main() {
 		Warmup:       simtime.Seconds(*warmup),
 		Joint:        &core.Params{DelayCap: *delayCap},
 	})
+	if perr := stopProfiles(); perr != nil {
+		fatal(perr)
+	}
 	if err != nil {
 		fatal(err)
 	}

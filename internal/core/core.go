@@ -17,7 +17,10 @@ package core
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"jointpm/internal/disk"
 	"jointpm/internal/lrusim"
@@ -48,6 +51,17 @@ type Params struct {
 	// coarse-to-fine refinement to reach EnumUnit granularity without
 	// replaying the log for thousands of sizes.
 	MaxCandidatesPerPass int
+
+	// EvalWorkers bounds the worker pool that prices one refinement
+	// pass's candidates in parallel (Pareto fit, timeout choice, queueing
+	// and energy arithmetic). 0 means GOMAXPROCS; 1 prices serially.
+	EvalWorkers int
+
+	// SequentialReplay restores the pre-sweep evaluation path — one full
+	// log replay per candidate size instead of the shared multi-threshold
+	// sweep — for ablation benchmarks and the equivalence tests. The two
+	// paths produce bit-identical decisions.
+	SequentialReplay bool
 
 	// HysteresisFrac stabilises the sizing across periods: the manager
 	// moves away from its previous size only when the best candidate's
@@ -248,13 +262,15 @@ func (m *Manager) Decide(obs Observation) Decision {
 
 	// Coarse-to-fine search at EnumUnit granularity. The energy curve is
 	// evaluated on a shrinking grid around the best point; each pass costs
-	// one log replay per candidate.
+	// one multi-threshold sweep of the log for its whole candidate slate
+	// (or one replay per candidate under the SequentialReplay ablation).
 	lo, hi := m.p.MinBanks, hiBanks
 	var best Candidate
 	bestSet := false
 	evaluated := 0
 	seen := map[int]bool{}
 	var all []Candidate
+	var slate []int
 	for {
 		span := hi - lo
 		stepBanks := unitBanks
@@ -266,21 +282,24 @@ func (m *Manager) Decide(obs Observation) Decision {
 				stepBanks = unitBanks
 			}
 		}
+		slate = slate[:0]
 		for b := lo; ; b += stepBanks {
 			if b > hi {
 				b = hi
 			}
 			if !seen[b] {
 				seen[b] = true
-				c := m.evaluate(obs, b, prof)
-				all = append(all, c)
-				evaluated++
-				if !bestSet || better(c, best) {
-					best, bestSet = c, true
-				}
+				slate = append(slate, b)
 			}
 			if b == hi {
 				break
+			}
+		}
+		for _, c := range m.evaluateSlate(obs, slate, prof) {
+			all = append(all, c)
+			evaluated++
+			if !bestSet || better(c, best) {
+				best, bestSet = c, true
 			}
 		}
 		if stepBanks <= unitBanks {
@@ -368,12 +387,13 @@ func buildDepthProfile(log []lrusim.DepthRecord, bankPages int64, maxBanks int) 
 		cumTotal:  make([]simtime.Bytes, maxBanks+1),
 		cumFirst:  make([]simtime.Bytes, maxBanks+1),
 	}
-	seen := make(map[int64]struct{}, len(log))
+	seen := pageSets.Get().(*pageSet)
+	seen.init(len(log))
 	for i := range log {
 		r := &log[i]
 		if r.Depth == lrusim.Cold {
 			p.cold += r.Bytes
-			seen[r.Page] = struct{}{}
+			seen.add(r.Page)
 			continue
 		}
 		b := (int64(r.Depth)-1)/bankPages + 1 // depth within the first b banks
@@ -382,16 +402,64 @@ func buildDepthProfile(log []lrusim.DepthRecord, bankPages int64, maxBanks int) 
 		}
 		p.cumTotal[b] += r.Bytes
 		p.total += r.Bytes
-		if _, ok := seen[r.Page]; !ok {
-			seen[r.Page] = struct{}{}
+		if seen.add(r.Page) {
 			p.cumFirst[b] += r.Bytes
 		}
 	}
+	pageSets.Put(seen)
 	for b := 1; b <= maxBanks; b++ {
 		p.cumTotal[b] += p.cumTotal[b-1]
 		p.cumFirst[b] += p.cumFirst[b-1]
 	}
 	return p
+}
+
+// pageSet is an open-addressing set of page numbers, replacing the
+// first-access-detection map in buildDepthProfile: at paper scale that
+// map holds hundreds of thousands of pages per period, and its overflow
+// buckets alone account for most of a decision's allocations. Page
+// numbers are non-negative (the lrusim convention), so -1 marks an empty
+// slot. Instances are pooled; init sizes for a ≤50% load factor.
+type pageSet struct {
+	slots []int64
+	shift uint
+}
+
+var pageSets = sync.Pool{New: func() any { return new(pageSet) }}
+
+func (s *pageSet) init(n int) {
+	b := uint(4)
+	for 1<<b < 2*n {
+		b++
+	}
+	size := 1 << b
+	if cap(s.slots) >= size {
+		s.slots = s.slots[:size]
+	} else {
+		s.slots = make([]int64, size)
+	}
+	for i := range s.slots {
+		s.slots[i] = -1
+	}
+	s.shift = 64 - b
+}
+
+// add inserts page and reports whether it was absent.
+func (s *pageSet) add(page int64) bool {
+	// Fibonacci hashing spreads sequential page numbers across the table.
+	i := (uint64(page) * 0x9E3779B97F4A7C15) >> s.shift
+	mask := uint64(len(s.slots) - 1)
+	for {
+		v := s.slots[i]
+		if v == page {
+			return false
+		}
+		if v == -1 {
+			s.slots[i] = page
+			return true
+		}
+		i = (i + 1) & mask
+	}
 }
 
 // missBytes returns the predicted bytes missed at a capacity of banks.
@@ -452,21 +520,105 @@ func better(a, b Candidate) bool {
 // the closed-form optimum still sets the timeout. DiskPMPowerModel in
 // this package exposes the pure eq. 4 valuation for analysis.
 func (m *Manager) evaluate(obs Observation, banks int, prof *depthProfile) Candidate {
+	if prof == nil {
+		prof = buildDepthProfile(obs.Log, m.p.bankPages(), m.p.TotalBanks)
+	}
+	start, end := m.bounds(obs)
+	intervals, nd := lrusim.BoundedIdleIntervals(obs.Log, int64(banks)*m.p.bankPages(), m.p.Window, start, end)
+	return m.price(obs, banks, prof, intervals, nd)
+}
+
+// bounds resolves the observation window passed to the idle-interval
+// reconstruction (both zero means "use the log's own extent").
+func (m *Manager) bounds(obs Observation) (start, end simtime.Seconds) {
+	if obs.PeriodStart == 0 && obs.PeriodEnd == 0 {
+		return -1, -1
+	}
+	return obs.PeriodStart, obs.PeriodEnd
+}
+
+// sweepers pools the multi-threshold sweepers (with their interval
+// buffers) shared across decisions and across concurrently running
+// managers; paper-scale sweeps would otherwise re-allocate tens of
+// megabytes of interval slices every period.
+var sweepers = sync.Pool{New: func() any { return new(lrusim.Sweeper) }}
+
+// evaluateSlate prices one refinement pass's candidate sizes (ascending)
+// through a single multi-threshold sweep of the log, then fans the
+// per-candidate valuation across a bounded worker pool. Under the
+// SequentialReplay ablation it replays the log once per candidate, which
+// is the paper's literal procedure and this package's original code path.
+func (m *Manager) evaluateSlate(obs Observation, banks []int, prof *depthProfile) []Candidate {
+	if obs.CoalesceFactor < 1 {
+		obs.CoalesceFactor = 1
+	}
+	out := make([]Candidate, len(banks))
+	if m.p.SequentialReplay || len(banks) <= 1 {
+		for i, b := range banks {
+			out[i] = m.evaluate(obs, b, prof)
+		}
+		return out
+	}
+	if prof == nil {
+		prof = buildDepthProfile(obs.Log, m.p.bankPages(), m.p.TotalBanks)
+	}
+
+	bankPages := m.p.bankPages()
+	thresholds := make([]int64, len(banks))
+	for i, b := range banks {
+		thresholds[i] = int64(b) * bankPages
+	}
+	start, end := m.bounds(obs)
+	sw := sweepers.Get().(*lrusim.Sweeper)
+	intervals, nds := sw.Sweep(obs.Log, thresholds, m.p.Window, start, end)
+
+	workers := m.p.EvalWorkers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(banks) {
+		workers = len(banks)
+	}
+	if workers <= 1 {
+		for i, b := range banks {
+			out[i] = m.price(obs, b, prof, intervals[i], nds[i])
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(banks) {
+						return
+					}
+					out[i] = m.price(obs, banks[i], prof, intervals[i], nds[i])
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	// The interval buffers are dead once every candidate is priced
+	// (nothing in Candidate aliases them), so the sweeper can be reused.
+	sweepers.Put(sw)
+	return out
+}
+
+// price does the per-candidate valuation — Pareto fit, timeout choice,
+// M/G/1 wait, utilization test, and energy pricing — given the idle
+// intervals and disk-access count reconstructed for this size. It must
+// not retain or modify intervals: slate evaluation hands every candidate
+// a view into pooled sweep buffers.
+func (m *Manager) price(obs Observation, banks int, prof *depthProfile, intervals []float64, nd int64) Candidate {
 	p := m.p
 	if obs.CoalesceFactor < 1 {
 		obs.CoalesceFactor = 1
 	}
-	if prof == nil {
-		prof = buildDepthProfile(obs.Log, p.bankPages(), p.TotalBanks)
-	}
 	pages := int64(banks) * p.bankPages()
 	c := Candidate{Banks: banks, Pages: pages}
-
-	start, end := obs.PeriodStart, obs.PeriodEnd
-	if start == 0 && end == 0 {
-		start, end = -1, -1
-	}
-	intervals, nd := lrusim.BoundedIdleIntervals(obs.Log, pages, p.Window, start, end)
 	c.DiskAccesses = nd
 	c.IdleCount = len(intervals)
 	c.MissBytes = prof.missBytes(banks)

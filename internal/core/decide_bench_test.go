@@ -1,0 +1,50 @@
+package core
+
+import (
+	"testing"
+
+	"jointpm/internal/disk"
+	"jointpm/internal/mem"
+	"jointpm/internal/simtime"
+)
+
+// benchDecideSetup builds a paper-scale decision problem: 128 GB of
+// 16 MB banks (64 KB pages), a 256k-reference period log whose Zipf
+// reuse spans thousands of banks, and a 32-candidate pass limit — the
+// configuration whose Fig. 7/8 inner loop the sweep accelerates.
+func benchDecideSetup(b *testing.B, sequential bool) (*Manager, Observation) {
+	b.Helper()
+	p := DefaultParams(64*simtime.KB, 16*simtime.MB, 8192, disk.Barracuda(), mem.RDRAM(16*simtime.MB))
+	p.HysteresisFrac = -1 // pure optimiser: identical work every iteration
+	p.SequentialReplay = sequential
+	m, err := NewManager(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	obs := zipfObservation(p, 1<<18, 1<<20, 42)
+	return m, obs
+}
+
+// BenchmarkDecide measures one full joint decision — all refinement
+// passes — on the multi-threshold sweep path with parallel candidate
+// pricing.
+func BenchmarkDecide(b *testing.B) {
+	m, obs := benchDecideSetup(b, false)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Decide(obs)
+	}
+}
+
+// BenchmarkDecideReplayReference is the retained pre-sweep reference: the
+// same decision computed by replaying the log once per candidate size,
+// serially. Compare ns/op and allocs/op against BenchmarkDecide.
+func BenchmarkDecideReplayReference(b *testing.B) {
+	m, obs := benchDecideSetup(b, true)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Decide(obs)
+	}
+}

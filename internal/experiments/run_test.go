@@ -1,0 +1,54 @@
+package experiments
+
+import (
+	"runtime"
+	"testing"
+)
+
+func TestOmitBarRule(t *testing.T) {
+	cases := []struct {
+		util float64
+		want bool
+	}{
+		{0, false},
+		{0.5, false},
+		{0.97, false},
+		{OmitUtilization, false}, // exactly at the threshold stays on the figure
+		{0.981, true},
+		{1.0, true},
+		{1.5, true}, // over-committed disk from a too-small cache
+	}
+	for _, c := range cases {
+		if got := OmitBar(c.util); got != c.want {
+			t.Errorf("OmitBar(%g) = %v, want %v", c.util, got, c.want)
+		}
+	}
+}
+
+func TestRunnerParallelismEnv(t *testing.T) {
+	defCap := runtime.NumCPU()
+	if defCap > 8 {
+		defCap = 8
+	}
+	if defCap < 1 {
+		defCap = 1
+	}
+	cases := []struct {
+		env  string
+		want int
+	}{
+		{"", defCap},
+		{"3", 3},
+		{"1", 1},
+		{"64", 64},
+		{"0", defCap},     // non-positive falls back
+		{"-2", defCap},    // non-positive falls back
+		{"bogus", defCap}, // non-numeric falls back
+	}
+	for _, c := range cases {
+		t.Setenv(ParallelismEnv, c.env)
+		if got := runnerParallelism(); got != c.want {
+			t.Errorf("JOINTPM_PAR=%q: parallelism = %d, want %d", c.env, got, c.want)
+		}
+	}
+}

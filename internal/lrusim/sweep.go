@@ -1,0 +1,172 @@
+package lrusim
+
+import "jointpm/internal/simtime"
+
+// Sweeper reconstructs idle intervals and disk-access counts for many
+// candidate memory sizes in ONE traversal of a depth-annotated log,
+// exploiting the nesting property of LRU stack depths: a reference at
+// depth d misses at every capacity below d, so the miss stream of a
+// larger capacity is always a subset of a smaller one's. The joint
+// manager's candidate slate (32 sizes per refinement pass) therefore
+// needs one pass over the log instead of one replay per size.
+//
+// Internally the per-threshold "time of last disk access" values form a
+// non-increasing sequence (smaller capacities miss at least as recently),
+// so they are kept as a stack of (time, hi) segments: each miss event at
+// time t covering thresholds [0, bound) pops the segments it supersedes,
+// emitting one idle interval per covered threshold whose gap clears the
+// aggregation window. Work per event is O(log K) for the bound search
+// plus O(intervals emitted), so a whole-slate sweep costs O(|log|·log K +
+// output) — versus O(K·|log|) for K replays.
+//
+// A Sweeper reuses its interval buffers across calls: the slices returned
+// by Sweep remain valid only until the next Sweep call. The zero value is
+// ready to use.
+type Sweeper struct {
+	intervals [][]float64
+	nd        []int64
+	missAt    []int64 // missAt[b]: events whose miss bound is exactly b
+
+	segTime []simtime.Seconds // segment stack, bottom first
+	segHi   []int
+}
+
+// Sweep computes, for every threshold in thresholds (a non-descending
+// list of page capacities), exactly what BoundedIdleIntervals(log,
+// thresholds[i], window, start, end) would return: the idle-interval
+// lengths (with window-w aggregation and period-boundary gaps) and the
+// disk-access count. The log must be time-ordered (see SortRecords);
+// Sweep panics on a descending threshold list.
+//
+// The returned slices are owned by the Sweeper and are overwritten by the
+// next Sweep call.
+func (s *Sweeper) Sweep(log []DepthRecord, thresholds []int64, window, start, end simtime.Seconds) (intervals [][]float64, diskAccesses []int64) {
+	k := len(thresholds)
+	for i := 1; i < k; i++ {
+		if thresholds[i] < thresholds[i-1] {
+			panic("lrusim: Sweep thresholds must be ascending")
+		}
+	}
+	s.reset(k)
+
+	// Boundary start covers every threshold: the idle time before the
+	// first disk access counts from the period start.
+	if start >= 0 {
+		s.segTime = append(s.segTime, start)
+		s.segHi = append(s.segHi, k)
+	}
+
+	for i := range log {
+		r := &log[i]
+		// bound: number of thresholds this reference misses. Depth d
+		// misses capacity m iff d > m, so it misses thresholds[0:bound)
+		// where bound is the first index with thresholds[i] >= d.
+		bound := k
+		if r.Depth != Cold {
+			d := int64(r.Depth)
+			lo, hi := 0, k
+			for lo < hi {
+				mid := int(uint(lo+hi) >> 1)
+				if thresholds[mid] < d {
+					lo = mid + 1
+				} else {
+					hi = mid
+				}
+			}
+			bound = lo
+		}
+		if bound == 0 {
+			continue // a hit at every candidate size
+		}
+		s.missAt[bound]++
+		s.advance(r.Time, bound, window)
+	}
+
+	// Boundary end: one trailing gap per threshold that has a last-access
+	// time (a segment) strictly before end.
+	if end >= 0 {
+		low := 0
+		for j := len(s.segTime) - 1; j >= 0; j-- {
+			t := s.segTime[j]
+			hi := s.segHi[j]
+			if end > t {
+				if gap := end - t; gap >= window {
+					for i := low; i < hi; i++ {
+						s.intervals[i] = append(s.intervals[i], float64(gap))
+					}
+				}
+			}
+			low = hi
+		}
+	}
+
+	// Disk accesses: threshold i is missed by every event whose bound
+	// exceeds i, i.e. the suffix sum of missAt.
+	var sum int64
+	for i := k; i >= 1; i-- {
+		sum += s.missAt[i]
+		s.nd[i-1] = sum
+	}
+	return s.intervals[:k], s.nd[:k]
+}
+
+// advance folds one miss event at time t covering thresholds [0, bound)
+// into the segment stack, emitting the idle intervals it closes.
+func (s *Sweeper) advance(t simtime.Seconds, bound int, window simtime.Seconds) {
+	low := 0
+	// Pop segments wholly superseded by this event.
+	for n := len(s.segTime); n > 0 && s.segHi[n-1] <= bound; n = len(s.segTime) {
+		last := s.segTime[n-1]
+		hi := s.segHi[n-1]
+		if gap := t - last; gap >= window {
+			for i := low; i < hi; i++ {
+				s.intervals[i] = append(s.intervals[i], float64(gap))
+			}
+		}
+		low = hi
+		s.segTime = s.segTime[:n-1]
+		s.segHi = s.segHi[:n-1]
+	}
+	// A surviving segment may still cover part of [low, bound): split it
+	// logically by emitting its gap for the covered prefix; the segment
+	// itself keeps representing [bound, hi) once the event is pushed.
+	if n := len(s.segTime); n > 0 && low < bound {
+		if gap := t - s.segTime[n-1]; gap >= window {
+			for i := low; i < bound; i++ {
+				s.intervals[i] = append(s.intervals[i], float64(gap))
+			}
+		}
+	}
+	s.segTime = append(s.segTime, t)
+	s.segHi = append(s.segHi, bound)
+}
+
+// reset prepares the buffers for a k-threshold sweep, reusing capacity.
+func (s *Sweeper) reset(k int) {
+	for len(s.intervals) < k {
+		s.intervals = append(s.intervals, nil)
+	}
+	for i := 0; i < k; i++ {
+		s.intervals[i] = s.intervals[i][:0]
+	}
+	if cap(s.nd) < k {
+		s.nd = make([]int64, k)
+	}
+	s.nd = s.nd[:k]
+	if cap(s.missAt) < k+1 {
+		s.missAt = make([]int64, k+1)
+	}
+	s.missAt = s.missAt[:k+1]
+	for i := range s.missAt {
+		s.missAt[i] = 0
+	}
+	s.segTime = s.segTime[:0]
+	s.segHi = s.segHi[:0]
+}
+
+// MultiIdleSweep is the convenience form of Sweeper.Sweep for callers
+// without a reusable Sweeper; the returned slices are freshly owned.
+func MultiIdleSweep(log []DepthRecord, thresholds []int64, window, start, end simtime.Seconds) ([][]float64, []int64) {
+	var s Sweeper
+	return s.Sweep(log, thresholds, window, start, end)
+}

@@ -1,0 +1,220 @@
+package lrusim
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"jointpm/internal/simtime"
+)
+
+// TestBoundedIdleIntervalsEdgeCases pins the reconstruction semantics the
+// multi-threshold sweep must reproduce exactly.
+func TestBoundedIdleIntervalsEdgeCases(t *testing.T) {
+	t.Run("empty log", func(t *testing.T) {
+		iv, nd := BoundedIdleIntervals(nil, 4, 0.1, -1, -1)
+		if len(iv) != 0 || nd != 0 {
+			t.Fatalf("unbounded empty log: iv=%v nd=%d", iv, nd)
+		}
+		// Bounded: no disk access ever happens, so the whole period is one
+		// idle interval from start to end.
+		iv, nd = BoundedIdleIntervals(nil, 4, 0.1, 0, 600)
+		if nd != 0 || len(iv) != 1 || iv[0] != 600 {
+			t.Fatalf("bounded empty log: iv=%v nd=%d, want one 600s interval", iv, nd)
+		}
+	})
+
+	t.Run("all hits", func(t *testing.T) {
+		log := recordsFromSeq([]float64{1, 2, 3}, []int{1, 2, 1})
+		iv, nd := BoundedIdleIntervals(log, 4, 0.1, -1, -1)
+		if len(iv) != 0 || nd != 0 {
+			t.Fatalf("unbounded all-hit log: iv=%v nd=%d", iv, nd)
+		}
+		// Bounded all-hit log: the disk never spins, one boundary-spanning
+		// interval.
+		iv, nd = BoundedIdleIntervals(log, 4, 0.1, 0, 100)
+		if nd != 0 || len(iv) != 1 || iv[0] != 100 {
+			t.Fatalf("bounded all-hit log: iv=%v nd=%d", iv, nd)
+		}
+	})
+
+	t.Run("window exactly equals gap", func(t *testing.T) {
+		// Gap of exactly the window length is kept (>=, not >).
+		log := recordsFromSeq([]float64{0, 2}, []int{Cold, Cold})
+		iv, _ := BoundedIdleIntervals(log, 1, 2, -1, -1)
+		if len(iv) != 1 || iv[0] != 2 {
+			t.Fatalf("gap==window dropped: iv=%v", iv)
+		}
+		// A hair under the window is dropped.
+		iv, _ = BoundedIdleIntervals(log, 1, 2.0000001, -1, -1)
+		if len(iv) != 0 {
+			t.Fatalf("gap<window kept: iv=%v", iv)
+		}
+	})
+
+	t.Run("period boundary gaps", func(t *testing.T) {
+		log := recordsFromSeq([]float64{10, 20}, []int{Cold, Cold})
+		// Unbounded: only the inter-access gap.
+		iv, nd := BoundedIdleIntervals(log, 1, 0.5, -1, -1)
+		if nd != 2 || !reflect.DeepEqual(iv, []float64{10}) {
+			t.Fatalf("unbounded: iv=%v nd=%d", iv, nd)
+		}
+		// Bounded [0, 35]: leading 10s and trailing 15s gaps join it.
+		iv, nd = BoundedIdleIntervals(log, 1, 0.5, 0, 35)
+		if nd != 2 || !reflect.DeepEqual(iv, []float64{10, 10, 15}) {
+			t.Fatalf("bounded: iv=%v nd=%d", iv, nd)
+		}
+		// End exactly at the last access: no trailing gap (end must be
+		// strictly after the last disk access).
+		iv, _ = BoundedIdleIntervals(log, 1, 0.5, 0, 20)
+		if !reflect.DeepEqual(iv, []float64{10, 10}) {
+			t.Fatalf("end==last: iv=%v", iv)
+		}
+	})
+}
+
+// randomSweepCase builds a time-ordered depth log and an ascending
+// threshold list from a seed.
+func randomSweepCase(rng *rand.Rand) (log []DepthRecord, thresholds []int64, window, start, end simtime.Seconds) {
+	n := rng.Intn(400)
+	tm := 0.0
+	for i := 0; i < n; i++ {
+		tm += rng.Float64() * 3
+		d := Cold
+		if rng.Intn(4) > 0 {
+			d = 1 + rng.Intn(64)
+		}
+		log = append(log, DepthRecord{
+			Time:  simtime.Seconds(tm),
+			Page:  int64(rng.Intn(128)),
+			Depth: d,
+			Bytes: simtime.Bytes(1 + rng.Intn(4)),
+		})
+	}
+	k := 1 + rng.Intn(40)
+	v := int64(0)
+	for i := 0; i < k; i++ {
+		v += int64(rng.Intn(8)) // may repeat (step 0) and may start at 0
+		thresholds = append(thresholds, v)
+	}
+	switch rng.Intn(3) {
+	case 0:
+		window = 0
+	case 1:
+		window = simtime.Seconds(rng.Float64())
+	default:
+		window = simtime.Seconds(rng.Float64() * 5)
+	}
+	start, end = -1, -1
+	if rng.Intn(2) == 0 {
+		start = 0
+		end = simtime.Seconds(tm + rng.Float64()*10)
+	}
+	return log, thresholds, window, start, end
+}
+
+// TestQuickSweepEquivalence is the tentpole's correctness property: the
+// one-pass multi-threshold sweep is byte-for-byte equivalent to one
+// BoundedIdleIntervals replay per threshold, across randomized logs,
+// threshold lists, windows, and observation bounds.
+func TestQuickSweepEquivalence(t *testing.T) {
+	var sw Sweeper // shared across cases: buffer reuse must not leak state
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		log, thresholds, window, start, end := randomSweepCase(rng)
+		gotIv, gotNd := sw.Sweep(log, thresholds, window, start, end)
+		for i, m := range thresholds {
+			wantIv, wantNd := BoundedIdleIntervals(log, m, window, start, end)
+			if gotNd[i] != wantNd {
+				t.Logf("seed %d threshold %d (m=%d): nd %d, want %d", seed, i, m, gotNd[i], wantNd)
+				return false
+			}
+			if len(gotIv[i]) != len(wantIv) {
+				t.Logf("seed %d threshold %d (m=%d): %d intervals, want %d", seed, i, m, len(gotIv[i]), len(wantIv))
+				return false
+			}
+			for j := range wantIv {
+				if gotIv[i][j] != wantIv[j] {
+					t.Logf("seed %d threshold %d interval %d: %v != %v", seed, i, j, gotIv[i][j], wantIv[j])
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSweepMatchesPaperExample(t *testing.T) {
+	// The Fig. 4 log from TestIdleIntervalsSplitAndMerge, all three sizes
+	// in one sweep.
+	times := []float64{0, 1, 2, 3, 10, 11, 20, 21, 30, 31}
+	depths := []int{Cold, Cold, Cold, Cold, 3, 4, Cold, Cold, 5, 5}
+	log := recordsFromSeq(times, depths)
+	iv, nd := MultiIdleSweep(log, []int64{2, 4, 5}, 0.5, -1, -1)
+	if nd[0] != 10 || nd[1] != 8 || nd[2] != 6 {
+		t.Fatalf("nd = %v, want [10 8 6]", nd)
+	}
+	if len(iv[0]) != 9 || len(iv[1]) != 7 || len(iv[2]) != 5 {
+		t.Fatalf("interval counts = %d/%d/%d, want 9/7/5", len(iv[0]), len(iv[1]), len(iv[2]))
+	}
+	if iv[1][3] != 17 {
+		t.Fatalf("merged interval = %v, want 17", iv[1][3])
+	}
+}
+
+func TestSweepPanicsOnDescendingThresholds(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	MultiIdleSweep(nil, []int64{4, 2}, 0, -1, -1)
+}
+
+// sweepBenchLog builds the paper-scale-ish log shared by the sweep
+// benchmarks: 1<<16 references over a Zipf-like reuse pattern.
+func sweepBenchLog() ([]DepthRecord, []int64, simtime.Seconds) {
+	rng := rand.New(rand.NewSource(5))
+	s := NewStackSim(1 << 16)
+	log := make([]DepthRecord, 0, 1<<16)
+	tm := simtime.Seconds(0)
+	for i := 0; i < 1<<16; i++ {
+		tm += simtime.Seconds(rng.Float64() * 0.02)
+		p := int64(rng.Intn(1 << 14))
+		log = append(log, DepthRecord{Time: tm, Page: p, Depth: s.Reference(p), Bytes: 64 * simtime.KB})
+	}
+	thresholds := make([]int64, 32)
+	for i := range thresholds {
+		thresholds[i] = int64(i+1) * 512
+	}
+	return log, thresholds, tm
+}
+
+// BenchmarkMultiIdleSweep32 measures one 32-threshold sweep — the work a
+// joint-manager refinement pass now costs.
+func BenchmarkMultiIdleSweep32(b *testing.B) {
+	log, thresholds, tm := sweepBenchLog()
+	var sw Sweeper
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sw.Sweep(log, thresholds, 0.1, 0, tm)
+	}
+}
+
+// BenchmarkPerSizeReplay32 measures the same pass as 32 independent log
+// replays — the pre-sweep cost retained for comparison.
+func BenchmarkPerSizeReplay32(b *testing.B) {
+	log, thresholds, tm := sweepBenchLog()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, m := range thresholds {
+			BoundedIdleIntervals(log, m, 0.1, 0, tm)
+		}
+	}
+}

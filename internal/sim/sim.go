@@ -313,6 +313,12 @@ func mergeJointParams(base, o core.Params) core.Params {
 	if o.MaxCandidatesPerPass > 0 {
 		base.MaxCandidatesPerPass = o.MaxCandidatesPerPass
 	}
+	if o.EvalWorkers > 0 {
+		base.EvalWorkers = o.EvalWorkers
+	}
+	if o.SequentialReplay {
+		base.SequentialReplay = true
+	}
 	if o.FixedTimeout {
 		base.FixedTimeout = true
 	}
