@@ -13,6 +13,7 @@ package jointpm
 import (
 	"io"
 	"math/rand"
+	"os"
 	"testing"
 
 	"jointpm/internal/core"
@@ -95,6 +96,20 @@ func benchSweepExperiment(b *testing.B, id string) {
 			if r.Method.IsJoint() {
 				b.ReportMetric(r.TotalPct, "joint-energy-%")
 				b.ReportMetric(r.Result.DelayedPerSecond(), "delayed/s")
+				if dir := os.Getenv(experiments.BenchJSONEnv); dir != "" {
+					_, err := experiments.WriteBenchSummary(dir, experiments.BenchSummary{
+						Experiment:     id,
+						Scale:          s.Name,
+						Point:          last.Label,
+						JointEnergyPct: r.TotalPct,
+						DelayedPerSec:  r.Result.DelayedPerSecond(),
+						WallSeconds:    b.Elapsed().Seconds(),
+						Iterations:     b.N,
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
 			}
 		}
 	}

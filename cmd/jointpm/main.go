@@ -11,6 +11,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -19,60 +20,123 @@ import (
 	"time"
 
 	"jointpm/internal/experiments"
+	"jointpm/internal/obs"
 	"jointpm/internal/profiling"
 	"jointpm/internal/simtime"
 )
 
+// errClaimsFailed marks the "claims evaluated false" exit: already
+// reported in the run summary, so main exits non-zero without a second
+// stderr line.
+var errClaimsFailed = errors.New("claims failed")
+
 func main() {
+	err := run()
+	if err == nil {
+		return
+	}
+	if !errors.Is(err, errClaimsFailed) {
+		fmt.Fprintln(os.Stderr, "jointpm:", err)
+	}
+	os.Exit(1)
+}
+
+func run() (retErr error) {
 	var (
-		exp        = flag.String("exp", "", "experiment id (or \"all\")")
-		scale      = flag.String("scale", "paper", "dimension preset: paper or quick")
-		horizon    = flag.Float64("horizon", 0, "metered simulated seconds per run (0 = preset default)")
-		seed       = flag.Int64("seed", 1, "workload seed")
-		list       = flag.Bool("list", false, "list experiments and exit")
-		check      = flag.Bool("check", false, "evaluate the paper's shape claims after sweep experiments")
-		csvPath    = flag.String("csv", "", "also export sweep experiments to CSV files under this directory")
-		seeds      = flag.Int("seeds", 0, "replicate sweep experiments over N seeds and report mean±sd")
-		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		exp           = flag.String("exp", "", "experiment id (or \"all\")")
+		scale         = flag.String("scale", "paper", "dimension preset: paper or quick")
+		horizon       = flag.Float64("horizon", 0, "metered simulated seconds per run (0 = preset default)")
+		seed          = flag.Int64("seed", 1, "workload seed")
+		list          = flag.Bool("list", false, "list experiments and exit")
+		check         = flag.Bool("check", false, "evaluate the paper's shape claims after sweep experiments")
+		csvPath       = flag.String("csv", "", "also export sweep experiments to CSV files under this directory")
+		seeds         = flag.Int("seeds", 0, "replicate sweep experiments over N seeds and report mean±sd")
+		metricsAddr   = flag.String("metrics-addr", "", "serve /metrics and /debug/vars on this address while running")
+		metricsLinger = flag.Duration("metrics-linger", 0, "keep serving metrics this long after the run finishes")
+		decTrace      = flag.String("decision-trace", "", "append one JSON line per joint decision to this file")
+		cpuprofile    = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile    = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 
 	if *list || *exp == "" {
-		fmt.Println("experiments:")
+		out := os.Stdout
+		if *exp == "" && !*list {
+			out = os.Stderr
+		}
+		fmt.Fprintln(out, "experiments:")
 		for _, e := range experiments.All() {
-			fmt.Printf("  %-9s %-14s %s\n", e.ID, e.Paper, e.Desc)
+			fmt.Fprintf(out, "  %-9s %-14s %s\n", e.ID, e.Paper, e.Desc)
 		}
 		if *exp == "" && !*list {
-			fmt.Println("\nrun one with: jointpm -exp <id> [-scale paper|quick]")
+			fmt.Fprintln(out, "\nrun one with: jointpm -exp <id> [-scale paper|quick]")
 			os.Exit(2)
 		}
-		return
+		return nil
 	}
 
 	s, err := buildScale(*scale, *horizon)
 	if err != nil {
-		fatal(err)
+		return fmt.Errorf("parsing -scale: %w", err)
+	}
+
+	// Observability: the registry and journal sink attach to the scale, so
+	// every run the experiments launch shares them. The sink is flushed on
+	// every exit path, success or failure, like the profile flush below.
+	if *metricsAddr != "" {
+		s.Metrics = obs.NewRegistry()
+		obs.Publish("jointpm", s.Metrics)
+		srv, addr, err := obs.Serve(*metricsAddr, s.Metrics)
+		if err != nil {
+			return fmt.Errorf("serving -metrics-addr %s: %w", *metricsAddr, err)
+		}
+		fmt.Fprintf(os.Stderr, "jointpm: metrics on http://%s/metrics\n", addr)
+		defer srv.Close()
+	}
+	if *decTrace != "" {
+		sink, err := obs.NewFileSink(*decTrace, obs.DefaultSinkDepth)
+		if err != nil {
+			return fmt.Errorf("opening -decision-trace: %w", err)
+		}
+		s.DecisionTrace = sink
+		defer func() {
+			if cerr := sink.Close(); cerr != nil && retErr == nil {
+				retErr = fmt.Errorf("flushing -decision-trace %s: %w", *decTrace, cerr)
+			}
+		}()
 	}
 
 	stopProfiles, err := profiling.Start(*cpuprofile, *memprofile)
 	if err != nil {
-		fatal(err)
+		return fmt.Errorf("starting profiles: %w", err)
 	}
-	failedClaims := run(s, *exp, *seed, *seeds, *check, *csvPath)
-	if err := stopProfiles(); err != nil {
-		fatal(err)
+	defer func() {
+		if perr := stopProfiles(); perr != nil && retErr == nil {
+			retErr = fmt.Errorf("flushing profiles: %w", perr)
+		}
+	}()
+	defer func() {
+		if *metricsAddr != "" && *metricsLinger > 0 {
+			fmt.Fprintf(os.Stderr, "jointpm: lingering %v for scrapes\n", *metricsLinger)
+			time.Sleep(*metricsLinger)
+		}
+	}()
+
+	failedClaims, err := runExperiments(s, *exp, *seed, *seeds, *check, *csvPath)
+	if err != nil {
+		return err
 	}
 	if failedClaims > 0 {
 		fmt.Printf("\n%d claim(s) FAILED\n", failedClaims)
-		os.Exit(1)
+		return errClaimsFailed
 	}
+	return nil
 }
 
-// run executes the selected experiments and returns the number of failed
-// shape claims (profile flushing must happen after it, so it never calls
-// os.Exit on that path).
-func run(s experiments.Scale, exp string, seed int64, seeds int, check bool, csvPath string) (failedClaims int) {
+// runExperiments executes the selected experiments and returns the number
+// of failed shape claims. It reports errors instead of exiting so the
+// deferred sink/profile flushes in run always happen.
+func runExperiments(s experiments.Scale, exp string, seed int64, seeds int, check bool, csvPath string) (failedClaims int, retErr error) {
 	ids := []string{exp}
 	if exp == "all" {
 		ids = experiments.IDs()
@@ -80,7 +144,7 @@ func run(s experiments.Scale, exp string, seed int64, seeds int, check bool, csv
 	for _, id := range ids {
 		e, err := experiments.ByID(id)
 		if err != nil {
-			fatal(err)
+			return failedClaims, fmt.Errorf("resolving -exp: %w", err)
 		}
 		fmt.Printf("=== %s (%s) — scale %s, seed %d ===\n", e.ID, e.Paper, s.Name, seed)
 		start := time.Now()
@@ -91,32 +155,32 @@ func run(s experiments.Scale, exp string, seed int64, seeds int, check bool, csv
 				list[i] = seed + int64(i)
 			}
 			if err := experiments.RunSweepReplicated(id, s, list, os.Stdout); err != nil {
-				fatal(fmt.Errorf("%s: %w", id, err))
+				return failedClaims, fmt.Errorf("running %s: %w", id, err)
 			}
 		} else if isSweep && (check || csvPath != "") {
 			var csvW io.Writer
 			if csvPath != "" {
 				if err := os.MkdirAll(csvPath, 0o755); err != nil {
-					fatal(err)
+					return failedClaims, fmt.Errorf("creating -csv dir: %w", err)
 				}
 				f, err := os.Create(filepath.Join(csvPath, id+".csv"))
 				if err != nil {
-					fatal(err)
+					return failedClaims, fmt.Errorf("creating -csv file: %w", err)
 				}
 				defer f.Close()
 				csvW = f
 			}
 			failed, err := experiments.RunSweep(id, s, seed, os.Stdout, csvW, check)
 			if err != nil {
-				fatal(fmt.Errorf("%s: %w", id, err))
+				return failedClaims, fmt.Errorf("running %s: %w", id, err)
 			}
 			failedClaims += failed
 		} else if err := e.Run(s, seed, os.Stdout); err != nil {
-			fatal(fmt.Errorf("%s: %w", id, err))
+			return failedClaims, fmt.Errorf("running %s: %w", id, err)
 		}
 		fmt.Printf("\n[%s completed in %v]\n\n", id, time.Since(start).Round(time.Millisecond))
 	}
-	return failedClaims
+	return failedClaims, nil
 }
 
 func buildScale(name string, horizon float64) (experiments.Scale, error) {
@@ -135,9 +199,4 @@ func buildScale(name string, horizon float64) (experiments.Scale, error) {
 	default:
 		return experiments.Scale{}, fmt.Errorf("unknown scale %q (want paper or quick)", name)
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "jointpm:", err)
-	os.Exit(1)
 }

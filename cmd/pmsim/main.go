@@ -8,6 +8,7 @@
 //	pmsim -trace base.trc -method JOINT
 //	pmsim -trace base.trc -method 2TFM-16GB -mem 128GB -bank 16MB
 //	pmsim -trace base.trc -method ADPD-128GB -periods
+//	pmsim -trace base.trc -metrics-addr 127.0.0.1:8080 -decision-trace joint.jsonl
 package main
 
 import (
@@ -15,8 +16,10 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"time"
 
 	"jointpm/internal/core"
+	"jointpm/internal/obs"
 	"jointpm/internal/policy"
 	"jointpm/internal/profiling"
 	"jointpm/internal/sim"
@@ -25,17 +28,27 @@ import (
 )
 
 func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "pmsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run() (retErr error) {
 	var (
-		tracePath  = flag.String("trace", "", "binary trace file (required)")
-		method     = flag.String("method", "JOINT", "method name, e.g. JOINT, ALWAYS-ON, 2TFM-16GB, ADPD-128GB")
-		memTotal   = flag.String("mem", "128GB", "installed physical memory")
-		bank       = flag.String("bank", "16MB", "memory bank size")
-		period     = flag.Float64("period", 600, "adaptation period in seconds")
-		warmup     = flag.Float64("warmup", 0, "warmup seconds excluded from metrics")
-		delayCap   = flag.Float64("delaycap", 0.001, "joint delayed-request ratio cap D")
-		periods    = flag.Bool("periods", false, "also print per-period rows")
-		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		tracePath     = flag.String("trace", "", "binary trace file (required)")
+		method        = flag.String("method", "JOINT", "method name, e.g. JOINT, ALWAYS-ON, 2TFM-16GB, ADPD-128GB")
+		memTotal      = flag.String("mem", "128GB", "installed physical memory")
+		bank          = flag.String("bank", "16MB", "memory bank size")
+		period        = flag.Float64("period", 600, "adaptation period in seconds")
+		warmup        = flag.Float64("warmup", 0, "warmup seconds excluded from metrics")
+		delayCap      = flag.Float64("delaycap", 0.001, "joint delayed-request ratio cap D")
+		periods       = flag.Bool("periods", false, "also print per-period rows")
+		metricsAddr   = flag.String("metrics-addr", "", "serve /metrics and /debug/vars on this address while running")
+		metricsLinger = flag.Duration("metrics-linger", 0, "keep serving metrics this long after the run finishes")
+		decTrace      = flag.String("decision-trace", "", "append one JSON line per joint decision to this file")
+		cpuprofile    = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile    = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 	if *tracePath == "" {
@@ -45,48 +58,80 @@ func main() {
 
 	f, err := os.Open(*tracePath)
 	if err != nil {
-		fatal(err)
+		return fmt.Errorf("opening -trace: %w", err)
 	}
 	tr, err := trace.ReadBinary(f)
 	f.Close()
 	if err != nil {
-		fatal(err)
+		return fmt.Errorf("reading -trace %s: %w", *tracePath, err)
 	}
 
 	m, err := policy.ParseName(*method)
 	if err != nil {
-		fatal(err)
+		return fmt.Errorf("parsing -method: %w", err)
 	}
 	installed, err := simtime.ParseBytes(*memTotal)
 	if err != nil {
-		fatal(err)
+		return fmt.Errorf("parsing -mem: %w", err)
 	}
 	bankSize, err := simtime.ParseBytes(*bank)
 	if err != nil {
-		fatal(err)
+		return fmt.Errorf("parsing -bank: %w", err)
 	}
 	if m.MemBytes == 0 {
 		m.MemBytes = installed
 	}
 
+	// Observability: a registry when an exporter wants it, a journal sink
+	// when -decision-trace names a file. The sink is flushed on every exit
+	// path, success or failure, mirroring the profile flush below.
+	var reg *obs.Registry
+	if *metricsAddr != "" {
+		reg = obs.NewRegistry()
+		obs.Publish("jointpm", reg)
+		srv, addr, err := obs.Serve(*metricsAddr, reg)
+		if err != nil {
+			return fmt.Errorf("serving -metrics-addr %s: %w", *metricsAddr, err)
+		}
+		fmt.Fprintf(os.Stderr, "pmsim: metrics on http://%s/metrics\n", addr)
+		defer srv.Close()
+	}
+	var sink *obs.DecisionSink
+	if *decTrace != "" {
+		sink, err = obs.NewFileSink(*decTrace, obs.DefaultSinkDepth)
+		if err != nil {
+			return fmt.Errorf("opening -decision-trace: %w", err)
+		}
+		defer func() {
+			if cerr := sink.Close(); cerr != nil && retErr == nil {
+				retErr = fmt.Errorf("flushing -decision-trace %s: %w", *decTrace, cerr)
+			}
+		}()
+	}
+
 	stopProfiles, err := profiling.Start(*cpuprofile, *memprofile)
 	if err != nil {
-		fatal(err)
+		return fmt.Errorf("starting profiles: %w", err)
 	}
+	defer func() {
+		if perr := stopProfiles(); perr != nil && retErr == nil {
+			retErr = fmt.Errorf("flushing profiles: %w", perr)
+		}
+	}()
+
 	res, err := sim.Run(sim.Config{
-		Trace:        tr,
-		Method:       m,
-		InstalledMem: installed,
-		BankSize:     bankSize,
-		Period:       simtime.Seconds(*period),
-		Warmup:       simtime.Seconds(*warmup),
-		Joint:        &core.Params{DelayCap: *delayCap},
+		Trace:         tr,
+		Method:        m,
+		InstalledMem:  installed,
+		BankSize:      bankSize,
+		Period:        simtime.Seconds(*period),
+		Warmup:        simtime.Seconds(*warmup),
+		Joint:         &core.Params{DelayCap: *delayCap},
+		Metrics:       reg,
+		DecisionTrace: sink,
 	})
-	if perr := stopProfiles(); perr != nil {
-		fatal(perr)
-	}
 	if err != nil {
-		fatal(err)
+		return fmt.Errorf("simulating %s: %w", m.Name(), err)
 	}
 
 	fmt.Printf("method           %s\n", m.Name())
@@ -117,9 +162,12 @@ func main() {
 				p.Utilization*100, p.MeanIdle, p.Banks, to, p.Delayed)
 		}
 	}
-}
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "pmsim:", err)
-	os.Exit(1)
+	// Hold the exporter open so a scraper (CI's smoke curl, a manual
+	// browser tab) can read the final counters after a short run.
+	if *metricsAddr != "" && *metricsLinger > 0 {
+		fmt.Fprintf(os.Stderr, "pmsim: lingering %v for scrapes\n", *metricsLinger)
+		time.Sleep(*metricsLinger)
+	}
+	return nil
 }

@@ -25,6 +25,7 @@ import (
 	"jointpm/internal/disk"
 	"jointpm/internal/lrusim"
 	"jointpm/internal/mem"
+	"jointpm/internal/obs"
 	"jointpm/internal/pareto"
 	"jointpm/internal/qmodel"
 	"jointpm/internal/simtime"
@@ -80,6 +81,17 @@ type Params struct {
 	// eq. 6 performance floor on the timeout.
 	FixedTimeout      bool
 	NoConstraintFloor bool
+
+	// Metrics receives the manager's decision telemetry (counters,
+	// gauges, histograms; names in DESIGN.md). Nil disables collection:
+	// every hook degrades to a nil-receiver no-op, adding nothing to the
+	// decision hot path.
+	Metrics *obs.Registry
+
+	// DecisionTrace journals one structured JSONL record per Decide
+	// call. Nil disables the journal; the sink itself is buffered and
+	// non-blocking, so an attached journal never stalls a decision.
+	DecisionTrace *obs.DecisionSink
 }
 
 // DefaultParams returns the paper's Table II values for the given
@@ -169,6 +181,9 @@ type Candidate struct {
 	FitOK        bool
 	Timeout      simtime.Seconds // chosen t_o (after constraint floor)
 	TimeoutFloor simtime.Seconds // eq. 6 lower bound
+	// FloorClamped reports that the eq. 6 floor raised this candidate's
+	// timeout above the unconstrained optimum t_o = α·t_be.
+	FloorClamped bool
 	Utilization  float64
 	// PredictedWait is an M/G/1 (Pollaczek–Khinchine) estimate of the
 	// mean disk queueing delay at this size — the quantitative form of
@@ -197,6 +212,7 @@ type Decision struct {
 type Manager struct {
 	p    Params
 	last Decision
+	met  coreMetrics
 }
 
 // NewManager validates params and creates a manager whose initial
@@ -206,7 +222,7 @@ func NewManager(p Params) (*Manager, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
-	m := &Manager{p: p}
+	m := &Manager{p: p, met: newCoreMetrics(p.Metrics)}
 	m.last = Decision{
 		Banks:   p.TotalBanks,
 		Pages:   int64(p.TotalBanks) * p.bankPages(),
@@ -224,6 +240,7 @@ func (m *Manager) Last() Decision { return m.last }
 // Decide evaluates one period's observation and returns the sizing and
 // timeout for the next period.
 func (m *Manager) Decide(obs Observation) Decision {
+	m.met.decisions.Inc()
 	if len(obs.Log) == 0 || obs.CacheAccesses == 0 {
 		// Nothing happened: the cheapest configuration is the smallest
 		// cache with the disk allowed to sleep through the whole period.
@@ -233,6 +250,11 @@ func (m *Manager) Decide(obs Observation) Decision {
 			Timeout: m.p.DiskSpec.BreakEven(),
 		}
 		m.last = d
+		m.met.emptyDecisions.Inc()
+		m.recordDecision(d)
+		if m.p.DecisionTrace.Enabled() {
+			m.emitEmptyTrace(obs, d)
+		}
 		return d
 	}
 	if obs.CoalesceFactor < 1 {
@@ -318,6 +340,7 @@ func (m *Manager) Decide(obs Observation) Decision {
 
 	// Hysteresis: stay at the previous size unless the winner is a real
 	// improvement over it, not estimate noise.
+	held := false
 	if h := m.p.HysteresisFrac; h >= 0 && best.Banks != m.last.Banks && m.last.Banks > 0 {
 		if h == 0 {
 			h = 0.05
@@ -345,6 +368,8 @@ func (m *Manager) Decide(obs Observation) Decision {
 		if prev.Feasible && best.Feasible &&
 			float64(best.TotalPower) > (1-h)*float64(prev.TotalPower) {
 			best = prev
+			held = true
+			m.met.hysteresis.Inc()
 		}
 	}
 
@@ -358,6 +383,10 @@ func (m *Manager) Decide(obs Observation) Decision {
 		Candidates: all,
 	}
 	m.last = d
+	m.recordDecision(d)
+	if m.p.DecisionTrace.Enabled() {
+		m.emitTrace(obs, d, held)
+	}
 	return d
 }
 
@@ -675,11 +704,22 @@ func (m *Manager) price(obs Observation, banks int, prof *depthProfile, interval
 	c.Fit = tc.Fit
 	c.FitOK = tc.FitOK
 	c.TimeoutFloor = tc.Floor
+	c.FloorClamped = tc.Clamped
 	c.Timeout = simtime.Seconds(math.Inf(1))
 	c.DiskPMPower = simtime.Watts(pd) // always-on default
-	if pm := empiricalPMPower(intervals, float64(tc.Timeout), T, pd, tbe); pm < pd {
+	pm := empiricalPMPower(intervals, float64(tc.Timeout), T, pd, tbe)
+	if pm < pd {
 		c.Timeout = tc.Timeout
 		c.DiskPMPower = simtime.Watts(pm)
+	} else {
+		m.met.spinDisabled.Inc()
+		// Attribute the loss: if spin-down at the unconstrained
+		// t_o = α·t_be would have won, the delay cap D is what priced
+		// this candidate out of sleeping. The check re-walks the
+		// intervals, so it only runs while the counter is live.
+		if m.met.rejectedDelay != nil && delayCapCostSpinDown(intervals, tc, T, pd, tbe) {
+			m.met.rejectedDelay.Inc()
+		}
 	}
 
 	// Memory static power of the enabled banks (joint keeps them in nap).
@@ -687,16 +727,22 @@ func (m *Manager) price(obs Observation, banks int, prof *depthProfile, interval
 
 	c.TotalPower = c.DiskPMPower + c.DiskDynPower + c.MemPower
 	c.Feasible = c.Utilization <= p.UtilCap
+	m.met.candidates.Inc()
+	if !c.Feasible {
+		m.met.rejectedUtil.Inc()
+	}
 	return c
 }
 
 // TimeoutChoice is the outcome of the Pareto timeout analysis for one
 // disk's idle intervals.
 type TimeoutChoice struct {
-	Fit     pareto.Dist
-	FitOK   bool
-	Timeout simtime.Seconds // t_o after applying the eq. 6 floor
-	Floor   simtime.Seconds // eq. 6 lower bound (0 when inactive)
+	Fit       pareto.Dist
+	FitOK     bool
+	Timeout   simtime.Seconds // t_o after applying the eq. 6 floor
+	Floor     simtime.Seconds // eq. 6 lower bound (0 when inactive)
+	Unclamped simtime.Seconds // t_o before the floor was applied
+	Clamped   bool            // the floor raised Timeout above Unclamped
 }
 
 // ChooseTimeout runs the paper's timeout analysis (Section IV-C/D) on a
@@ -709,7 +755,7 @@ func (m *Manager) ChooseTimeout(intervals []float64, nd, cacheAccesses int64, sp
 	p := m.p
 	spec := p.DiskSpec
 	tbe := float64(spec.BreakEven())
-	tc := TimeoutChoice{Timeout: simtime.Seconds(tbe)}
+	tc := TimeoutChoice{Timeout: simtime.Seconds(tbe), Unclamped: simtime.Seconds(tbe)}
 	fit, err := pareto.FitMoments(intervals, float64(p.Window))
 	if err != nil {
 		return tc
@@ -729,8 +775,11 @@ func (m *Manager) ChooseTimeout(intervals []float64, nd, cacheAccesses int64, sp
 			tc.Floor = simtime.Seconds(fit.Beta * math.Pow(x, -1/fit.Alpha))
 		}
 	}
+	tc.Unclamped = simtime.Seconds(to)
 	if simtime.Seconds(to) < tc.Floor {
 		to = float64(tc.Floor)
+		tc.Clamped = true
+		m.met.clamped.Inc()
 	}
 	tc.Timeout = simtime.Seconds(to)
 	return tc

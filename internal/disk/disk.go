@@ -17,6 +17,7 @@ package disk
 import (
 	"math"
 
+	"jointpm/internal/obs"
 	"jointpm/internal/simtime"
 )
 
@@ -112,6 +113,18 @@ func (s State) String() string {
 	}
 }
 
+// Metrics holds the disk's optional telemetry instruments. Each field
+// may independently be nil (a no-op); the zero Metrics disables
+// everything. SpinDowns counts idle→standby transitions, SpinUps counts
+// standby→idle wake-ups (always paired with a spin-up delay on the
+// triggering request), and IdleGaps observes every closed idle-interval
+// length in seconds.
+type Metrics struct {
+	SpinDowns *obs.Counter
+	SpinUps   *obs.Counter
+	IdleGaps  *obs.Histogram
+}
+
 // Observer receives power-relevant disk events. The adaptive-timeout
 // policy subscribes to tune its timeout from observed idleness.
 type Observer interface {
@@ -177,6 +190,7 @@ type Disk struct {
 
 	stats    Stats
 	observer Observer
+	metrics  Metrics
 
 	idleRecorder func(simtime.Seconds) // optional sink for raw idle intervals
 }
@@ -200,6 +214,10 @@ func (d *Disk) Timeout() simtime.Seconds { return d.timeout }
 
 // SetObserver registers the single observer for idle-end events.
 func (d *Disk) SetObserver(o Observer) { d.observer = o }
+
+// SetMetrics attaches telemetry instruments (see Metrics). Passing the
+// zero Metrics detaches them.
+func (d *Disk) SetMetrics(m Metrics) { d.metrics = m }
 
 // SetIdleRecorder registers a sink that receives every idle-interval
 // length as it closes (used by Fig. 9 instrumentation).
@@ -247,6 +265,7 @@ func (d *Disk) spinDownAt(ts simtime.Seconds) {
 	}
 	d.state = StateStandby
 	d.stats.SpinDowns++
+	d.metrics.SpinDowns.Inc()
 }
 
 // Submit offers a request to the disk at its arrival time and returns its
@@ -280,6 +299,7 @@ func (d *Disk) submitWithService(arrival simtime.Seconds, size simtime.Bytes, se
 		notify, gap, spunDown = true, arrival-d.idleSince, true
 		start += d.spec.SpinUpTime
 		d.state = StateIdle
+		d.metrics.SpinUps.Inc()
 	case arrival > d.idleSince:
 		// Genuine idle gap (the queue was empty when this request arrived).
 		notify, gap, spunDown = true, arrival-d.idleSince, false
@@ -322,6 +342,7 @@ func (d *Disk) recordIdle(idle simtime.Seconds, spunDown bool) {
 	}
 	d.stats.IdleSum += idle
 	d.stats.IdleCount++
+	d.metrics.IdleGaps.Observe(float64(idle))
 	if d.idleRecorder != nil {
 		d.idleRecorder(idle)
 	}

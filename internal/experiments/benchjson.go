@@ -1,0 +1,44 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// BenchJSONEnv, when set to a directory, makes the sweep benchmarks
+// write a BENCH_<id>.json summary next to their console metrics, so a
+// perf dashboard (or a later session diffing two runs) can read the
+// headline numbers without scraping `go test -bench` output.
+const BenchJSONEnv = "JOINTPM_BENCH_JSON"
+
+// BenchSummary is the machine-readable counterpart of one sweep
+// benchmark's custom metrics: the joint method's normalised energy and
+// long-latency rate at the hardest sweep point, plus the wall time the
+// measurement took.
+type BenchSummary struct {
+	Experiment string `json:"experiment"` // registered id, e.g. "fig7"
+	Scale      string `json:"scale"`      // dimension preset the run used
+	Point      string `json:"point"`      // sweep point the numbers describe
+
+	JointEnergyPct float64 `json:"joint_energy_pct"` // % of the always-on baseline
+	DelayedPerSec  float64 `json:"delayed_per_s"`    // long-latency request rate
+
+	WallSeconds float64 `json:"wall_s"` // measured benchmark time
+	Iterations  int     `json:"iterations"`
+}
+
+// WriteBenchSummary writes s to dir/BENCH_<experiment>.json and returns
+// the path.
+func WriteBenchSummary(dir string, s BenchSummary) (string, error) {
+	b, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return "", fmt.Errorf("experiments: encoding bench summary: %w", err)
+	}
+	path := filepath.Join(dir, "BENCH_"+s.Experiment+".json")
+	if err := os.WriteFile(path, append(b, '\n'), 0o644); err != nil {
+		return "", fmt.Errorf("experiments: writing bench summary: %w", err)
+	}
+	return path, nil
+}

@@ -89,15 +89,17 @@ func (r *runner) config(tr *trace.Trace, m policy.Method, warmup simtime.Seconds
 		warmup = r.scale.Warmup
 	}
 	return sim.Config{
-		Trace:        tr,
-		Method:       m,
-		InstalledMem: r.scale.InstalledMem,
-		BankSize:     r.scale.BankSize,
-		DiskSpec:     r.scale.DiskSpec,
-		MemSpec:      r.scale.MemSpec,
-		Period:       r.scale.Period,
-		Warmup:       warmup,
-		Joint:        &core.Params{DelayCap: r.scale.DelayCap},
+		Trace:         tr,
+		Method:        m,
+		InstalledMem:  r.scale.InstalledMem,
+		BankSize:      r.scale.BankSize,
+		DiskSpec:      r.scale.DiskSpec,
+		MemSpec:       r.scale.MemSpec,
+		Period:        r.scale.Period,
+		Warmup:        warmup,
+		Joint:         &core.Params{DelayCap: r.scale.DelayCap},
+		Metrics:       r.scale.Metrics,
+		DecisionTrace: r.scale.DecisionTrace,
 	}
 }
 

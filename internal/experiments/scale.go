@@ -15,6 +15,7 @@ import (
 
 	"jointpm/internal/disk"
 	"jointpm/internal/mem"
+	"jointpm/internal/obs"
 	"jointpm/internal/simtime"
 	"jointpm/internal/trace"
 	"jointpm/internal/workload"
@@ -60,6 +61,14 @@ type Scale struct {
 
 	MemSpec  mem.Spec
 	DiskSpec disk.Spec
+
+	// Metrics, when non-nil, collects the observability counters of every
+	// run launched under this scale; concurrent method runs share it, so
+	// counters aggregate across the sweep and gauges hold whichever run
+	// wrote last. DecisionTrace likewise journals every joint decision.
+	// Both are nil in the presets — cmd flags attach them.
+	Metrics       *obs.Registry
+	DecisionTrace *obs.DecisionSink
 }
 
 // PaperScale returns the full-dimension preset. Horizon is the simulated

@@ -1,0 +1,110 @@
+// Runtime exposure: expvar-backed snapshots and an optional HTTP
+// endpoint serving the registry in the Prometheus text format
+// (/metrics) alongside the standard expvar JSON dump (/debug/vars).
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+)
+
+// Publish registers the registry under name in the process-global
+// expvar namespace as a function variable that snapshots on read, so
+// `/debug/vars` (and anything else walking expvar) sees live values.
+// Publishing the same name twice keeps the first registration (expvar
+// itself panics on duplicates; re-publishing across runs in one process
+// is normal for tests).
+func Publish(name string, r *Registry) {
+	if expvar.Get(name) != nil {
+		return
+	}
+	expvar.Publish(name, expvar.Func(func() any {
+		snap := r.Snapshot()
+		out := make(map[string]any, len(snap.Counters)+len(snap.Gauges)+len(snap.Histograms))
+		for _, c := range snap.Counters {
+			out[c.Name] = c.Value
+		}
+		for _, g := range snap.Gauges {
+			out[g.Name] = g.Value
+		}
+		for _, h := range snap.Histograms {
+			out[h.Name] = map[string]any{
+				"count": h.Count, "sum": h.Sum,
+				"bounds": h.Bounds, "counts": h.Counts,
+			}
+		}
+		return out
+	}))
+}
+
+// metricName maps a registry name like "core.decide.calls" to the
+// Prometheus-style "jointpm_core_decide_calls".
+func metricName(name string) string {
+	return "jointpm_" + strings.NewReplacer(".", "_", "-", "_", "/", "_").Replace(name)
+}
+
+// WriteText renders the registry in the Prometheus text exposition
+// format: counters and gauges as bare samples, histograms as cumulative
+// _bucket{le="..."} series with _sum and _count.
+func WriteText(w io.Writer, r *Registry) error {
+	snap := r.Snapshot()
+	for _, c := range snap.Counters {
+		if _, err := fmt.Fprintf(w, "%s %d\n", metricName(c.Name), c.Value); err != nil {
+			return err
+		}
+	}
+	for _, g := range snap.Gauges {
+		if _, err := fmt.Fprintf(w, "%s %g\n", metricName(g.Name), g.Value); err != nil {
+			return err
+		}
+	}
+	for _, h := range snap.Histograms {
+		name := metricName(h.Name)
+		var cum int64
+		for i, cnt := range h.Counts {
+			cum += cnt
+			le := "+Inf"
+			if i < len(h.Bounds) {
+				le = fmt.Sprintf("%g", h.Bounds[i])
+			}
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, le, cum); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum %g\n%s_count %d\n", name, h.Sum, name, h.Count); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Handler returns an http.Handler serving the registry as /metrics
+// text.
+func Handler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = WriteText(w, r)
+	})
+}
+
+// Serve publishes the registry under "jointpm", binds addr, and serves
+// /metrics (text format) and /debug/vars (expvar JSON) until the
+// returned server is shut down. It returns the bound address so callers
+// passing ":0" can discover the port.
+func Serve(addr string, r *Registry) (*http.Server, net.Addr, error) {
+	Publish("jointpm", r)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, nil, fmt.Errorf("obs: metrics listener: %w", err)
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", Handler(r))
+	mux.Handle("/debug/vars", expvar.Handler())
+	srv := &http.Server{Handler: mux}
+	go func() { _ = srv.Serve(ln) }()
+	return srv, ln.Addr(), nil
+}

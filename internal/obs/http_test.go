@@ -1,0 +1,88 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"io"
+	"net/http"
+	"testing"
+	"time"
+)
+
+// TestServeEndpoints boots the real HTTP server on an ephemeral port
+// and checks both endpoints: /metrics text format and /debug/vars
+// expvar JSON including the published registry.
+func TestServeEndpoints(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("core.decide.calls").Add(3)
+	r.Gauge("core.decide.banks").Set(9)
+
+	srv, addr, err := Serve("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	client := &http.Client{Timeout: 5 * time.Second}
+	get := func(path string) string {
+		resp, err := client.Get(fmt.Sprintf("http://%s%s", addr, path))
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b)
+	}
+
+	metrics := get("/metrics")
+	for _, want := range []string{"jointpm_core_decide_calls 3", "jointpm_core_decide_banks 9"} {
+		if !contains(metrics, want) {
+			t.Fatalf("/metrics missing %q:\n%s", want, metrics)
+		}
+	}
+
+	vars := get("/debug/vars")
+	var dump map[string]json.RawMessage
+	if err := json.Unmarshal([]byte(vars), &dump); err != nil {
+		t.Fatalf("/debug/vars not JSON: %v", err)
+	}
+	if _, ok := dump["jointpm"]; !ok {
+		t.Fatalf("/debug/vars missing jointpm var: %s", vars)
+	}
+}
+
+// TestPublishIdempotent re-publishes under the same name: expvar panics
+// on duplicates, so Publish must keep the first registration silently.
+func TestPublishIdempotent(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x").Inc()
+	Publish("jointpm-test-idem", r)
+	Publish("jointpm-test-idem", NewRegistry()) // must not panic
+	v := expvar.Get("jointpm-test-idem")
+	if v == nil {
+		t.Fatal("var not published")
+	}
+	var out map[string]any
+	if err := json.Unmarshal([]byte(v.String()), &out); err != nil {
+		t.Fatalf("expvar value not JSON: %v", err)
+	}
+	if out["x"] != float64(1) {
+		t.Fatalf("expvar snapshot = %v, want x:1 (first registration kept)", out)
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

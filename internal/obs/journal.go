@@ -1,0 +1,202 @@
+// Decision-trace journal: a structured JSONL record per joint-manager
+// decision, written through a buffered, non-blocking sink so emitting a
+// record never stalls the decision hot path.
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sync"
+	"sync/atomic"
+)
+
+// Float is a float64 that marshals non-finite values as JSON null
+// (standard JSON has no Inf/NaN; a +Inf timeout means "spin-down
+// disabled" and is documented as null in the journal schema).
+type Float float64
+
+// MarshalJSON implements json.Marshaler.
+func (f Float) MarshalJSON() ([]byte, error) {
+	v := float64(f)
+	if math.IsInf(v, 0) || math.IsNaN(v) {
+		return []byte("null"), nil
+	}
+	return json.Marshal(v)
+}
+
+// ObservationSummary condenses what the manager saw at one period
+// boundary.
+type ObservationSummary struct {
+	LogLen         int   `json:"log_len"`
+	CacheAccesses  int64 `json:"cache_accesses"`
+	CoalesceFactor Float `json:"coalesce_factor"`
+	CurrentBanks   int   `json:"current_banks"`
+	PeriodStart    Float `json:"period_start_s"`
+	PeriodEnd      Float `json:"period_end_s"`
+}
+
+// ParetoFitSummary is the winning candidate's idle-interval model.
+type ParetoFitSummary struct {
+	Alpha Float `json:"alpha"`
+	Beta  Float `json:"beta"`
+	OK    bool  `json:"ok"`
+}
+
+// CandidateSummary is one evaluated memory size in the journal. Reason
+// is empty on the winner and names why every other candidate lost (see
+// the rejection-reason vocabulary in DESIGN.md).
+type CandidateSummary struct {
+	Banks          int    `json:"banks"`
+	DiskAccesses   int64  `json:"disk_accesses"`
+	IdleCount      int    `json:"idle_count"`
+	Utilization    Float  `json:"utilization"`
+	TimeoutS       Float  `json:"timeout_s"` // null: spin-down disabled
+	TimeoutFloorS  Float  `json:"timeout_floor_s"`
+	FloorClamped   bool   `json:"floor_clamped,omitempty"`
+	TotalPowerW    Float  `json:"total_power_w"`
+	DiskPMPowerW   Float  `json:"disk_pm_power_w"`
+	DiskDynPowerW  Float  `json:"disk_dyn_power_w"`
+	MemPowerW      Float  `json:"mem_power_w"`
+	PredictedWaitS Float  `json:"predicted_wait_s"`
+	Feasible       bool   `json:"feasible"`
+	Reason         string `json:"reason,omitempty"`
+}
+
+// DecisionRecord is one JSONL line of the decision-trace journal. Seq
+// is assigned by the sink in write order.
+type DecisionRecord struct {
+	Seq            int64              `json:"seq"`
+	Observation    ObservationSummary `json:"obs"`
+	Fit            ParetoFitSummary   `json:"fit"`
+	TimeoutFloorS  Float              `json:"timeout_floor_s"`
+	Chosen         CandidateSummary   `json:"chosen"`
+	Evaluated      int                `json:"evaluated"`
+	HysteresisHold bool               `json:"hysteresis_hold,omitempty"`
+	RunnersUp      []CandidateSummary `json:"runners_up,omitempty"`
+}
+
+// DefaultSinkDepth is the channel depth a sink is created with when the
+// caller passes 0.
+const DefaultSinkDepth = 256
+
+// DecisionSink journals decision records as JSON lines. Emit never
+// blocks: records queue on a buffered channel drained by one writer
+// goroutine, and records arriving at a full queue are counted as
+// dropped instead of stalling the caller. A nil sink is a valid
+// disabled sink — Emit and Close are no-ops.
+type DecisionSink struct {
+	ch      chan DecisionRecord
+	done    chan struct{}
+	w       *bufio.Writer
+	closer  io.Closer // optional underlying file
+	seq     int64     // writer-goroutine only
+	dropped atomic.Int64
+	werr    error // first write error; written by drain, read after done
+	once    sync.Once
+	mu      sync.RWMutex // serialises Emit sends against the channel close
+	closed  atomic.Bool
+}
+
+// NewDecisionSink starts a sink writing JSON lines to w. depth ≤ 0 uses
+// DefaultSinkDepth. Close must be called to flush.
+func NewDecisionSink(w io.Writer, depth int) *DecisionSink {
+	if depth <= 0 {
+		depth = DefaultSinkDepth
+	}
+	s := &DecisionSink{
+		ch:   make(chan DecisionRecord, depth),
+		done: make(chan struct{}),
+		w:    bufio.NewWriter(w),
+	}
+	go s.drain()
+	return s
+}
+
+// NewFileSink creates path (truncating) and starts a sink writing to
+// it; Close closes the file.
+func NewFileSink(path string, depth int) (*DecisionSink, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("obs: decision trace: %w", err)
+	}
+	s := NewDecisionSink(f, depth)
+	s.closer = f
+	return s, nil
+}
+
+// Enabled reports whether records will be journalled. It is the guard
+// instrumented code uses before building a record.
+func (s *DecisionSink) Enabled() bool { return s != nil && !s.closed.Load() }
+
+// Emit queues one record, dropping it (and counting the drop) if the
+// queue is full or the sink is closed. No-op on a nil receiver.
+func (s *DecisionSink) Emit(r DecisionRecord) {
+	if s == nil {
+		return
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed.Load() {
+		s.dropped.Add(1)
+		return
+	}
+	select {
+	case s.ch <- r:
+	default:
+		s.dropped.Add(1)
+	}
+}
+
+// Dropped returns how many records were discarded because the queue was
+// full; zero on a nil receiver.
+func (s *DecisionSink) Dropped() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.dropped.Load()
+}
+
+// Close drains queued records, flushes the writer, closes any
+// underlying file, and returns the first error encountered (queueing or
+// writing). Safe to call more than once and on a nil receiver.
+func (s *DecisionSink) Close() error {
+	if s == nil {
+		return nil
+	}
+	s.once.Do(func() {
+		s.mu.Lock()
+		s.closed.Store(true)
+		close(s.ch)
+		s.mu.Unlock()
+		<-s.done
+	})
+	return s.werr
+}
+
+func (s *DecisionSink) drain() {
+	defer close(s.done)
+	for r := range s.ch {
+		s.seq++
+		r.Seq = s.seq
+		b, err := json.Marshal(r)
+		if err == nil {
+			b = append(b, '\n')
+			_, err = s.w.Write(b)
+		}
+		if err != nil && s.werr == nil {
+			s.werr = err
+		}
+	}
+	if err := s.w.Flush(); err != nil && s.werr == nil {
+		s.werr = err
+	}
+	if s.closer != nil {
+		if err := s.closer.Close(); err != nil && s.werr == nil {
+			s.werr = err
+		}
+	}
+}

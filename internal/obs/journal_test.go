@@ -1,0 +1,130 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestSinkWritesJSONL checks record round-tripping, write-order seq
+// assignment, and the non-finite-float null convention.
+func TestSinkWritesJSONL(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewDecisionSink(&buf, 8)
+	s.Emit(DecisionRecord{
+		Observation: ObservationSummary{LogLen: 10, CacheAccesses: 100},
+		Chosen:      CandidateSummary{Banks: 3, TimeoutS: Float(math.Inf(1)), Feasible: true},
+		Evaluated:   5,
+	})
+	s.Emit(DecisionRecord{Chosen: CandidateSummary{Banks: 4}})
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want 2:\n%s", len(lines), buf.String())
+	}
+	var rec struct {
+		Seq    int64 `json:"seq"`
+		Chosen struct {
+			Banks    int      `json:"banks"`
+			TimeoutS *float64 `json:"timeout_s"`
+		} `json:"chosen"`
+	}
+	if err := json.Unmarshal([]byte(lines[0]), &rec); err != nil {
+		t.Fatalf("line 0 not JSON: %v\n%s", err, lines[0])
+	}
+	if rec.Seq != 1 || rec.Chosen.Banks != 3 {
+		t.Fatalf("line 0 = %+v", rec)
+	}
+	if rec.Chosen.TimeoutS != nil {
+		t.Fatalf("+Inf timeout should serialise as null, got %v", *rec.Chosen.TimeoutS)
+	}
+	if err := json.Unmarshal([]byte(lines[1]), &rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Seq != 2 {
+		t.Fatalf("seq of line 1 = %d, want 2", rec.Seq)
+	}
+}
+
+// TestSinkNonBlocking fills the queue beyond its depth while the writer
+// is stalled behind a slow io.Writer and checks that Emit returns
+// immediately, counting drops instead of blocking.
+func TestSinkNonBlocking(t *testing.T) {
+	slow := &gatedWriter{gate: make(chan struct{})}
+	s := NewDecisionSink(slow, 4)
+	const emits = 64
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < emits; i++ {
+			s.Emit(DecisionRecord{Evaluated: i})
+		}
+	}()
+	<-done // must complete with the writer still gated — Emit never blocks
+	close(slow.gate)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	written := int64(bytes.Count(slow.buf.Bytes(), []byte("\n")))
+	if written+s.Dropped() != emits {
+		t.Fatalf("written %d + dropped %d != emitted %d", written, s.Dropped(), emits)
+	}
+	if s.Dropped() == 0 {
+		t.Fatalf("expected drops with a gated writer and depth 4")
+	}
+}
+
+// gatedWriter blocks every Write until its gate closes.
+type gatedWriter struct {
+	gate chan struct{}
+	buf  bytes.Buffer
+}
+
+func (w *gatedWriter) Write(p []byte) (int, error) {
+	<-w.gate
+	return w.buf.Write(p)
+}
+
+// TestSinkConcurrentEmitClose races many emitters against Close; run
+// under -race in CI. Every record is either written or counted dropped.
+func TestSinkConcurrentEmitClose(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewDecisionSink(&buf, 16)
+	const workers, per = 8, 200
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				s.Emit(DecisionRecord{Evaluated: i})
+			}
+		}()
+	}
+	wg.Wait()
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Emit after Close must not panic and must count as dropped.
+	before := s.Dropped()
+	s.Emit(DecisionRecord{})
+	if s.Dropped() != before+1 {
+		t.Fatalf("post-close Emit not counted as drop")
+	}
+	if s.Enabled() {
+		t.Fatalf("closed sink still enabled")
+	}
+	written := int64(bytes.Count(buf.Bytes(), []byte("\n")))
+	if written+before != workers*per {
+		t.Fatalf("written %d + dropped %d != %d", written, before, workers*per)
+	}
+	// Close is idempotent.
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,288 @@
+// Package obs is the observability layer: a zero-dependency metrics
+// registry (atomic counters, float gauges, fixed-bucket histograms), a
+// structured decision-trace journal with a buffered non-blocking sink,
+// and runtime exposure through expvar and an optional HTTP endpoint
+// (text-format /metrics plus the standard /debug/vars).
+//
+// Every type in this package is nil-safe: methods on a nil *Registry,
+// *Counter, *Gauge, *Histogram, or *DecisionSink are no-ops (reads
+// return zero values). Instrumented code therefore carries plain
+// pointers it never has to guard, and a disabled configuration costs one
+// nil check per event on the hot path — no branches on configuration
+// structs, no allocations.
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing int64, safe for concurrent use.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one. No-op on a nil receiver.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n (n should be non-negative; Counter does not enforce it).
+// No-op on a nil receiver.
+func (c *Counter) Add(n int64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count; zero on a nil receiver.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a float64 that can move in both directions, safe for
+// concurrent use.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v. No-op on a nil receiver.
+func (g *Gauge) Set(v float64) {
+	if g != nil {
+		g.bits.Store(math.Float64bits(v))
+	}
+}
+
+// Add adds d with a CAS loop. No-op on a nil receiver.
+func (g *Gauge) Add(d float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + d)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current value; zero on a nil receiver.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram is a fixed-bucket histogram: observation i lands in the
+// first bucket whose upper bound is ≥ v, or the implicit +Inf overflow
+// bucket. Bounds are set at registration and never change, so Observe
+// is lock-free.
+type Histogram struct {
+	bounds []float64 // ascending upper bounds
+	counts []atomic.Int64
+	sumB   atomic.Uint64 // float64 bits of the running sum
+	n      atomic.Int64
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	b := make([]float64, len(bounds))
+	copy(b, bounds)
+	sort.Float64s(b)
+	return &Histogram{bounds: b, counts: make([]atomic.Int64, len(b)+1)}
+}
+
+// Observe records one sample. No-op on a nil receiver.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v) // first bound ≥ v
+	h.counts[i].Add(1)
+	h.n.Add(1)
+	for {
+		old := h.sumB.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumB.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations; zero on a nil receiver.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.n.Load()
+}
+
+// Sum returns the sum of observations; zero on a nil receiver.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sumB.Load())
+}
+
+// Buckets returns the bucket upper bounds and their (non-cumulative)
+// counts; the final count is the +Inf overflow bucket. Nil receiver
+// returns nils.
+func (h *Histogram) Buckets() (bounds []float64, counts []int64) {
+	if h == nil {
+		return nil, nil
+	}
+	counts = make([]int64, len(h.counts))
+	for i := range h.counts {
+		counts[i] = h.counts[i].Load()
+	}
+	return h.bounds, counts
+}
+
+// Registry names and holds metrics. Registration (Counter, Gauge,
+// Histogram) takes a mutex and returns the same instance for the same
+// name, so instruments can be resolved once at construction time and
+// used lock-free afterwards. A nil *Registry hands out nil instruments,
+// which are themselves no-ops — the disabled configuration needs no
+// special casing anywhere.
+type Registry struct {
+	mu     sync.Mutex
+	counts map[string]*Counter
+	gauges map[string]*Gauge
+	hists  map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counts: map[string]*Counter{},
+		gauges: map[string]*Gauge{},
+		hists:  map[string]*Histogram{},
+	}
+}
+
+// Counter returns the counter registered under name, creating it on
+// first use. Nil receiver returns nil.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counts[name]
+	if !ok {
+		c = new(Counter)
+		r.counts[name] = c
+	}
+	return c
+}
+
+// Gauge returns the gauge registered under name, creating it on first
+// use. Nil receiver returns nil.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = new(Gauge)
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the histogram registered under name, creating it
+// with the given bucket upper bounds on first use (later calls keep the
+// original bounds). Nil receiver returns nil.
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = newHistogram(bounds)
+		r.hists[name] = h
+	}
+	return h
+}
+
+// CounterValue reads a counter by name without creating it; zero when
+// absent or on a nil receiver. Intended for tests and snapshots.
+func (r *Registry) CounterValue(name string) int64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	c := r.counts[name]
+	r.mu.Unlock()
+	return c.Value()
+}
+
+// HistogramSnapshot is one histogram's state inside a Snapshot.
+type HistogramSnapshot struct {
+	Name   string
+	Bounds []float64 // upper bounds; the final count bucket is +Inf
+	Counts []int64
+	Sum    float64
+	Count  int64
+}
+
+// Snapshot is a point-in-time, name-sorted copy of every metric — the
+// single source both the expvar map and the /metrics text format render
+// from.
+type Snapshot struct {
+	Counters   []NamedInt
+	Gauges     []NamedFloat
+	Histograms []HistogramSnapshot
+}
+
+// NamedInt is a name/value pair for counters.
+type NamedInt struct {
+	Name  string
+	Value int64
+}
+
+// NamedFloat is a name/value pair for gauges.
+type NamedFloat struct {
+	Name  string
+	Value float64
+}
+
+// Snapshot copies the registry's current state, sorted by name. Nil
+// receiver returns the zero Snapshot.
+func (r *Registry) Snapshot() Snapshot {
+	var s Snapshot
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	for name, c := range r.counts {
+		s.Counters = append(s.Counters, NamedInt{name, c.Value()})
+	}
+	for name, g := range r.gauges {
+		s.Gauges = append(s.Gauges, NamedFloat{name, g.Value()})
+	}
+	for name, h := range r.hists {
+		bounds, counts := h.Buckets()
+		s.Histograms = append(s.Histograms, HistogramSnapshot{
+			Name: name, Bounds: bounds, Counts: counts, Sum: h.Sum(), Count: h.Count(),
+		})
+	}
+	r.mu.Unlock()
+	sort.Slice(s.Counters, func(i, j int) bool { return s.Counters[i].Name < s.Counters[j].Name })
+	sort.Slice(s.Gauges, func(i, j int) bool { return s.Gauges[i].Name < s.Gauges[j].Name })
+	sort.Slice(s.Histograms, func(i, j int) bool { return s.Histograms[i].Name < s.Histograms[j].Name })
+	return s
+}

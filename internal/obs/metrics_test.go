@@ -1,0 +1,149 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestNilSafety exercises every instrument through nil receivers: the
+// disabled configuration must be a silent no-op, not a crash.
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x")
+	g := r.Gauge("y")
+	h := r.Histogram("z", []float64{1, 2})
+	c.Inc()
+	c.Add(5)
+	g.Set(3)
+	g.Add(1)
+	h.Observe(1.5)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Fatalf("nil instruments leaked values: %d %g %d", c.Value(), g.Value(), h.Count())
+	}
+	if b, n := h.Buckets(); b != nil || n != nil {
+		t.Fatalf("nil histogram returned buckets")
+	}
+	if r.CounterValue("x") != 0 {
+		t.Fatalf("nil registry read non-zero")
+	}
+	snap := r.Snapshot()
+	if len(snap.Counters)+len(snap.Gauges)+len(snap.Histograms) != 0 {
+		t.Fatalf("nil registry snapshot not empty")
+	}
+	var s *DecisionSink
+	s.Emit(DecisionRecord{})
+	if s.Enabled() || s.Dropped() != 0 {
+		t.Fatalf("nil sink claims to be enabled")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("nil sink Close: %v", err)
+	}
+}
+
+// TestRegistryIdentity checks that the same name resolves to the same
+// instrument, so hot paths can cache the pointer.
+func TestRegistryIdentity(t *testing.T) {
+	r := NewRegistry()
+	if r.Counter("a") != r.Counter("a") {
+		t.Fatalf("counter identity broken")
+	}
+	if r.Gauge("b") != r.Gauge("b") {
+		t.Fatalf("gauge identity broken")
+	}
+	if r.Histogram("c", []float64{1}) != r.Histogram("c", []float64{5}) {
+		t.Fatalf("histogram identity broken")
+	}
+	r.Counter("a").Add(3)
+	if got := r.CounterValue("a"); got != 3 {
+		t.Fatalf("CounterValue = %d, want 3", got)
+	}
+}
+
+// TestConcurrentInstruments hammers one counter/gauge/histogram from
+// many goroutines; run under -race in CI.
+func TestConcurrentInstruments(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("hits")
+	g := r.Gauge("level")
+	h := r.Histogram("lat", []float64{0.5, 1, 2})
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64(i%4) * 0.75)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if c.Value() != workers*per {
+		t.Fatalf("counter = %d, want %d", c.Value(), workers*per)
+	}
+	if g.Value() != workers*per {
+		t.Fatalf("gauge = %g, want %d", g.Value(), workers*per)
+	}
+	if h.Count() != workers*per {
+		t.Fatalf("histogram count = %d, want %d", h.Count(), workers*per)
+	}
+	_, counts := h.Buckets()
+	var sum int64
+	for _, n := range counts {
+		sum += n
+	}
+	if sum != workers*per {
+		t.Fatalf("bucket counts sum to %d, want %d", sum, workers*per)
+	}
+}
+
+// TestHistogramBuckets pins the bucket-assignment rule: first bound ≥ v,
+// overflow beyond the last bound.
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", []float64{1, 10})
+	for _, v := range []float64{0.5, 1, 1.5, 10, 11} {
+		h.Observe(v)
+	}
+	_, counts := h.Buckets()
+	want := []int64{2, 2, 1} // ≤1: {0.5,1}; ≤10: {1.5,10}; +Inf: {11}
+	for i := range want {
+		if counts[i] != want[i] {
+			t.Fatalf("bucket %d = %d, want %d (all %v)", i, counts[i], want[i], counts)
+		}
+	}
+	if h.Sum() != 0.5+1+1.5+10+11 {
+		t.Fatalf("sum = %g", h.Sum())
+	}
+}
+
+// TestWriteText checks the exposition format end to end, including the
+// cumulative histogram series.
+func TestWriteText(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("core.decide.calls").Add(7)
+	r.Gauge("core.decide.banks").Set(42)
+	h := r.Histogram("sim.period.utilization", []float64{0.5})
+	h.Observe(0.25)
+	h.Observe(0.75)
+	var sb strings.Builder
+	if err := WriteText(&sb, r); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"jointpm_core_decide_calls 7\n",
+		"jointpm_core_decide_banks 42\n",
+		`jointpm_sim_period_utilization_bucket{le="0.5"} 1` + "\n",
+		`jointpm_sim_period_utilization_bucket{le="+Inf"} 2` + "\n",
+		"jointpm_sim_period_utilization_sum 1\n",
+		"jointpm_sim_period_utilization_count 2\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("text output missing %q:\n%s", want, out)
+		}
+	}
+}

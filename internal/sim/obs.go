@@ -1,0 +1,66 @@
+package sim
+
+import (
+	"jointpm/internal/disk"
+	"jointpm/internal/obs"
+)
+
+// engineMetrics caches the engine's instruments, resolved once per run.
+// With a nil registry every field is a nil instrument and each hook is
+// a nil-receiver no-op (see internal/obs), so an uninstrumented run
+// pays one nil check per event.
+type engineMetrics struct {
+	clientRequests *obs.Counter // sim.client_requests
+	delayed        *obs.Counter // sim.requests.delayed
+	periods        *obs.Counter // sim.periods
+
+	cacheHits   *obs.Counter // sim.cache.hits
+	cacheMisses *obs.Counter // sim.cache.misses
+	hitBytes    *obs.Counter // sim.cache.hit_bytes
+	missBytes   *obs.Counter // sim.cache.miss_bytes
+	// Pages shed when a decision shrank the cache, and pages lost to a
+	// disabled bank's timeout — the two ways resident data dies and
+	// must later be refilled through misses.
+	resizeEvicted *obs.Counter // sim.cache.resize_evicted_pages
+	invalidated   *obs.Counter // sim.cache.invalidated_pages
+
+	periodDiskEnergy  *obs.Gauge // sim.period.disk_energy_j
+	periodMemEnergy   *obs.Gauge // sim.period.mem_energy_j
+	periodTransEnergy *obs.Gauge // sim.period.transition_energy_j
+	periodDelayed     *obs.Gauge // sim.period.delayed
+	periodBanks       *obs.Gauge // sim.period.banks
+
+	periodUtil *obs.Histogram // sim.period.utilization
+}
+
+func newEngineMetrics(r *obs.Registry) engineMetrics {
+	return engineMetrics{
+		clientRequests:    r.Counter("sim.client_requests"),
+		delayed:           r.Counter("sim.requests.delayed"),
+		periods:           r.Counter("sim.periods"),
+		cacheHits:         r.Counter("sim.cache.hits"),
+		cacheMisses:       r.Counter("sim.cache.misses"),
+		hitBytes:          r.Counter("sim.cache.hit_bytes"),
+		missBytes:         r.Counter("sim.cache.miss_bytes"),
+		resizeEvicted:     r.Counter("sim.cache.resize_evicted_pages"),
+		invalidated:       r.Counter("sim.cache.invalidated_pages"),
+		periodDiskEnergy:  r.Gauge("sim.period.disk_energy_j"),
+		periodMemEnergy:   r.Gauge("sim.period.mem_energy_j"),
+		periodTransEnergy: r.Gauge("sim.period.transition_energy_j"),
+		periodDelayed:     r.Gauge("sim.period.delayed"),
+		periodBanks:       r.Gauge("sim.period.banks"),
+		periodUtil:        r.Histogram("sim.period.utilization", []float64{0.01, 0.02, 0.05, 0.1, 0.2, 0.5, 0.98}),
+	}
+}
+
+// diskMetrics builds the disk's instrument set from the same registry.
+func diskMetrics(r *obs.Registry) disk.Metrics {
+	if r == nil {
+		return disk.Metrics{}
+	}
+	return disk.Metrics{
+		SpinDowns: r.Counter("disk.spin_downs"),
+		SpinUps:   r.Counter("disk.spin_ups"),
+		IdleGaps:  r.Histogram("disk.idle_gap_s", []float64{0.1, 1, 5, 11.7, 30, 60, 300}),
+	}
+}

@@ -1,0 +1,114 @@
+package sim
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"jointpm/internal/obs"
+	"jointpm/internal/policy"
+	"jointpm/internal/simtime"
+)
+
+// TestRunPopulatesMetricsAndJournal runs the joint method end to end
+// with a registry and a journal sink attached and checks that every
+// layer reported: the engine's traffic and period instruments, the
+// disk's transition counters, the manager's decision counters, and one
+// parseable journal record per decision.
+func TestRunPopulatesMetricsAndJournal(t *testing.T) {
+	tr := testWorkload(t, 0.2*float64(simtime.MB), 1800)
+	reg := obs.NewRegistry()
+	var buf bytes.Buffer
+	sink := obs.NewDecisionSink(&buf, obs.DefaultSinkDepth)
+
+	cfg := testConfig(tr, policy.Joint(128*simtime.MB))
+	cfg.Metrics = reg
+	cfg.DecisionTrace = sink
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sink.Close(); err != nil {
+		t.Fatalf("closing sink: %v", err)
+	}
+
+	// Engine traffic counters must mirror the result struct exactly.
+	if got := reg.CounterValue("sim.client_requests"); got != res.ClientRequests {
+		t.Errorf("sim.client_requests = %d, result says %d", got, res.ClientRequests)
+	}
+	hits := reg.CounterValue("sim.cache.hits")
+	misses := reg.CounterValue("sim.cache.misses")
+	if hits == 0 || misses == 0 {
+		t.Errorf("cache counters empty: hits=%d misses=%d", hits, misses)
+	}
+	// Counters see the warmup window too, so they can only exceed the
+	// metered result.
+	if hits+misses < res.CacheAccesses {
+		t.Errorf("hits+misses = %d below metered accesses %d", hits+misses, res.CacheAccesses)
+	}
+	if got := reg.CounterValue("sim.periods"); got == 0 {
+		t.Error("sim.periods never incremented")
+	}
+
+	// The low rate leaves long idle gaps, so the joint policy must have
+	// spun the disk down at least once.
+	if got := reg.CounterValue("disk.spin_downs"); got == 0 {
+		t.Error("disk.spin_downs = 0 under a low-rate joint run")
+	}
+
+	// Manager instruments: one Decide per post-warmup boundary, 32-ish
+	// candidates priced per call.
+	decisions := reg.CounterValue("core.decide.calls")
+	if decisions == 0 {
+		t.Fatal("core.decide.calls = 0")
+	}
+	if priced := reg.CounterValue("core.decide.candidates_priced"); priced < decisions {
+		t.Errorf("candidates_priced %d < decide calls %d", priced, decisions)
+	}
+
+	// Journal: one record per decision, each parseable, seq contiguous.
+	lines := bytes.Split(bytes.TrimRight(buf.Bytes(), "\n"), []byte("\n"))
+	if int64(len(lines)) != decisions {
+		t.Fatalf("journal has %d records, decide counter says %d", len(lines), decisions)
+	}
+	for i, line := range lines {
+		var rec obs.DecisionRecord
+		if err := json.Unmarshal(line, &rec); err != nil {
+			t.Fatalf("journal line %d: %v", i+1, err)
+		}
+		if rec.Seq != int64(i+1) {
+			t.Fatalf("journal line %d has seq %d", i+1, rec.Seq)
+		}
+		if rec.Chosen.Banks <= 0 {
+			t.Errorf("journal line %d chose %d banks", i+1, rec.Chosen.Banks)
+		}
+	}
+}
+
+// TestRunNilMetricsUnchanged guards the zero-cost-when-disabled claim's
+// behavioural half: attaching instruments must not alter the simulation,
+// and leaving them nil must still produce the identical result.
+func TestRunNilMetricsUnchanged(t *testing.T) {
+	tr := testWorkload(t, 0.5*float64(simtime.MB), 900)
+	plain, err := Run(testConfig(tr, policy.Joint(128*simtime.MB)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := testConfig(tr, policy.Joint(128*simtime.MB))
+	cfg.Metrics = obs.NewRegistry()
+	cfg.DecisionTrace = obs.NewDecisionSink(&bytes.Buffer{}, obs.DefaultSinkDepth)
+	instrumented, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cfg.DecisionTrace.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if plain.TotalEnergy() != instrumented.TotalEnergy() ||
+		plain.Delayed != instrumented.Delayed ||
+		plain.DiskAccesses != instrumented.DiskAccesses {
+		t.Errorf("instrumentation changed the run: %v/%d/%d vs %v/%d/%d",
+			plain.TotalEnergy(), plain.Delayed, plain.DiskAccesses,
+			instrumented.TotalEnergy(), instrumented.Delayed, instrumented.DiskAccesses)
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"jointpm/internal/disk"
 	"jointpm/internal/lrusim"
 	"jointpm/internal/mem"
+	"jointpm/internal/obs"
 	"jointpm/internal/policy"
 	"jointpm/internal/simtime"
 	"jointpm/internal/trace"
@@ -51,6 +52,16 @@ type Config struct {
 	// platter. Power management is unaffected (the spec's power fields
 	// are taken from Zoned.Spec).
 	Zoned *disk.ZonedSpec
+
+	// Metrics receives run telemetry from the engine, the disk model,
+	// and (for the joint method) the power manager; nil disables
+	// collection. Metric names are catalogued in DESIGN.md.
+	Metrics *obs.Registry
+
+	// DecisionTrace journals the joint manager's per-period decisions
+	// as JSONL; nil disables it. The engine does not close the sink —
+	// the caller that opened it flushes it on exit.
+	DecisionTrace *obs.DecisionSink
 }
 
 func (c *Config) withDefaults() (Config, error) {
@@ -200,6 +211,8 @@ type engine struct {
 	stack     *lrusim.StackSim
 	periodLog []lrusim.DepthRecord
 
+	obsm engineMetrics
+
 	res Result
 
 	// period windowing
@@ -229,6 +242,7 @@ func newEngine(cfg Config) (*engine, error) {
 		cfg:          cfg,
 		pageSize:     ps,
 		pagesPerBank: pagesPerBank,
+		obsm:         newEngineMetrics(cfg.Metrics),
 	}
 	e.cache = cache.New(installedFrames, pagesPerBank)
 	if cfg.Zoned != nil {
@@ -242,6 +256,7 @@ func newEngine(cfg Config) (*engine, error) {
 		e.disk = disk.New(cfg.DiskSpec, cfg.LongLatency)
 	}
 	e.mem = mem.New(cfg.MemSpec, totalBanks, cfg.Method.Mem.BankPolicy())
+	e.disk.SetMetrics(diskMetrics(cfg.Metrics))
 	e.disk.SetIdleRecorder(func(gap simtime.Seconds) {
 		e.res.OracleDiskPM += cfg.DiskSpec.OracleGapEnergy(gap)
 	})
@@ -275,6 +290,12 @@ func newEngine(cfg Config) (*engine, error) {
 		p.LongLatency = cfg.LongLatency
 		if cfg.Joint != nil {
 			p = mergeJointParams(p, *cfg.Joint)
+		}
+		if cfg.Metrics != nil {
+			p.Metrics = cfg.Metrics
+		}
+		if cfg.DecisionTrace != nil {
+			p.DecisionTrace = cfg.DecisionTrace
 		}
 		mgr, err := core.NewManager(p)
 		if err != nil {
@@ -328,6 +349,12 @@ func mergeJointParams(base, o core.Params) core.Params {
 	if o.HysteresisFrac != 0 {
 		base.HysteresisFrac = o.HysteresisFrac
 	}
+	if o.Metrics != nil {
+		base.Metrics = o.Metrics
+	}
+	if o.DecisionTrace != nil {
+		base.DecisionTrace = o.DecisionTrace
+	}
 	return base
 }
 
@@ -362,6 +389,7 @@ func (e *engine) run() (*Result, error) {
 func (e *engine) serve(req *trace.Request) {
 	t := req.Time
 	e.res.ClientRequests++
+	e.obsm.clientRequests.Inc()
 
 	var (
 		runStart  int64 = -1
@@ -399,10 +427,14 @@ func (e *engine) serve(req *trace.Request) {
 
 		hit := e.lookup(page, t)
 		if hit {
+			e.obsm.cacheHits.Inc()
+			e.obsm.hitBytes.Add(int64(e.pageSize))
 			flush()
 			continue
 		}
 		// Miss: fetch from disk (coalesced) and install.
+		e.obsm.cacheMisses.Inc()
+		e.obsm.missBytes.Add(int64(e.pageSize))
 		e.res.DiskAccesses++
 		if runLen > 0 && page == runStart+runLen {
 			runLen++
@@ -422,6 +454,7 @@ func (e *engine) serve(req *trace.Request) {
 		if lat > e.cfg.LongLatency {
 			e.res.Delayed++
 			e.periodDelayed++
+			e.obsm.delayed.Inc()
 		}
 	}
 }
@@ -437,7 +470,7 @@ func (e *engine) lookup(page int64, t simtime.Seconds) bool {
 	if _, dead := e.mem.IdleDisabledAt(bank, t); dead {
 		// The bank's disable timeout expired before this access: its data
 		// is gone. Invalidate and treat as a miss.
-		e.cache.InvalidateBank(bank)
+		e.obsm.invalidated.Add(e.cache.InvalidateBank(bank))
 		e.mem.MarkIdleDisabled(bank, t)
 		return false
 	}
@@ -457,7 +490,7 @@ func (e *engine) closePeriod(t simtime.Seconds) {
 	// banks that do get accessed).
 	if e.cfg.Method.Mem == policy.MemDisable {
 		for _, b := range e.mem.SweepIdleDisabled(t) {
-			e.cache.InvalidateBank(b)
+			e.obsm.invalidated.Add(e.cache.InvalidateBank(b))
 			e.mem.MarkIdleDisabled(b, t)
 		}
 	}
@@ -467,6 +500,14 @@ func (e *engine) closePeriod(t simtime.Seconds) {
 	w := ds.Sub(e.lastDiskStats)
 	de := e.disk.Energy()
 	me := e.mem.Energy()
+	e.obsm.periods.Inc()
+	e.obsm.periodDiskEnergy.Set(float64(de.Total() - e.lastDiskEnergy.Total()))
+	e.obsm.periodMemEnergy.Set(float64(me.Total() - e.lastMemEnergy.Total()))
+	e.obsm.periodTransEnergy.Set(float64(
+		(de.Transition - e.lastDiskEnergy.Transition) +
+			(me.Transition - e.lastMemEnergy.Transition)))
+	e.obsm.periodDelayed.Set(float64(e.periodDelayed))
+	e.obsm.periodUtil.Observe(float64(w.BusyTime) / float64(e.cfg.Period))
 	stat := PeriodStat{
 		Start:         t - e.cfg.Period,
 		End:           t,
@@ -500,12 +541,13 @@ func (e *engine) closePeriod(t simtime.Seconds) {
 			CurrentBanks:   e.manager.Last().Banks,
 		})
 		stat.Decision = &dec
-		e.cache.Resize(dec.Pages)
+		e.obsm.resizeEvicted.Add(e.cache.Resize(dec.Pages))
 		e.mem.SetEnabledBanks(t, dec.Banks)
 		e.disk.SetTimeout(t, dec.Timeout)
 		stat.Banks = dec.Banks
 		stat.Timeout = dec.Timeout
 	}
+	e.obsm.periodBanks.Set(float64(stat.Banks))
 	e.periodLog = e.periodLog[:0]
 
 	if t > e.cfg.Warmup {
