@@ -14,6 +14,7 @@ import (
 	"io"
 	"math/rand"
 	"os"
+	"runtime"
 	"testing"
 
 	"jointpm/internal/core"
@@ -78,6 +79,8 @@ func benchSweepExperiment(b *testing.B, id string) {
 		b.Fatalf("%q is not a sweep experiment", id)
 	}
 	var points []*experiments.Point
+	var before runtime.MemStats
+	runtime.ReadMemStats(&before)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		var err error
@@ -90,6 +93,10 @@ func benchSweepExperiment(b *testing.B, id string) {
 		}
 	}
 	b.StopTimer()
+	var after runtime.MemStats
+	runtime.ReadMemStats(&after)
+	allocsPerOp := (after.Mallocs - before.Mallocs) / uint64(b.N)
+	allocMBPerOp := float64(after.TotalAlloc-before.TotalAlloc) / float64(b.N) / (1 << 20)
 	if len(points) > 0 {
 		last := points[len(points)-1]
 		for _, r := range last.Rows {
@@ -103,8 +110,10 @@ func benchSweepExperiment(b *testing.B, id string) {
 						Point:          last.Label,
 						JointEnergyPct: r.TotalPct,
 						DelayedPerSec:  r.Result.DelayedPerSecond(),
-						WallSeconds:    b.Elapsed().Seconds(),
+						WallSeconds:    b.Elapsed().Seconds() / float64(b.N),
 						Iterations:     b.N,
+						AllocsPerOp:    allocsPerOp,
+						AllocMBPerOp:   allocMBPerOp,
 					})
 					if err != nil {
 						b.Fatal(err)

@@ -14,16 +14,19 @@
 // Frames are allocated lowest-first so occupancy stays packed into
 // low-numbered banks, which keeps "enabled banks = ceil(capacity/bank)"
 // an accurate power accounting for resizing policies.
+//
+// The implementation is flat-array based: residency is an open-addressed
+// page→frame table (internal/intmap), the LRU list is a pair of
+// frame-indexed prev/next arrays, and free frames sit in an inline int32
+// min-heap — no per-page heap allocation and no container/heap boxing on
+// the per-access path.
 package cache
 
-import "container/heap"
+import "jointpm/internal/intmap"
 
-// entry is one resident page, a node in the intrusive LRU list.
-type entry struct {
-	page       int64
-	frame      int64
-	prev, next *entry
-}
+// nilFrame terminates the LRU list and marks free frames in the
+// frame-indexed arrays.
+const nilFrame = -1
 
 // PageCache is a frame-based LRU page cache.
 type PageCache struct {
@@ -31,12 +34,14 @@ type PageCache struct {
 	capacity     int64 // usable frames (≤ totalFrames)
 	pagesPerBank int64
 
-	entries map[int64]*entry // page -> entry
-	byFrame []*entry         // frame -> entry (nil when free)
-	free    frameHeap        // free frame indices, min-heap
-	head    *entry           // MRU
-	tail    *entry           // LRU
-	count   int64
+	table *intmap.Map // page -> frame
+	pages []int64     // frame -> resident page, nilFrame when free
+	prev  []int32     // frame -> more-recently-used neighbour
+	next  []int32     // frame -> less-recently-used neighbour
+	free  frameHeap   // free frame indices, min-heap
+	head  int32       // MRU frame
+	tail  int32       // LRU frame
+	count int64
 }
 
 // New creates a cache with totalFrames frames grouped into banks of
@@ -45,18 +50,25 @@ func New(totalFrames, pagesPerBank int64) *PageCache {
 	if totalFrames <= 0 || pagesPerBank <= 0 {
 		panic("cache: sizes must be positive")
 	}
+	if totalFrames >= 1<<31 {
+		panic("cache: frame count exceeds int32 frame index range")
+	}
 	c := &PageCache{
 		totalFrames:  totalFrames,
 		capacity:     totalFrames,
 		pagesPerBank: pagesPerBank,
-		entries:      make(map[int64]*entry),
-		byFrame:      make([]*entry, totalFrames),
-		free:         make(frameHeap, 0, totalFrames),
+		table:        intmap.New(1024),
+		pages:        make([]int64, totalFrames),
+		prev:         make([]int32, totalFrames),
+		next:         make([]int32, totalFrames),
+		free:         make(frameHeap, totalFrames),
+		head:         nilFrame,
+		tail:         nilFrame,
 	}
 	for f := int64(0); f < totalFrames; f++ {
-		c.free = append(c.free, f)
+		c.pages[f] = nilFrame
+		c.free[f] = int32(f) // ascending order is already a valid min-heap
 	}
-	heap.Init(&c.free)
 	return c
 }
 
@@ -83,41 +95,40 @@ func (c *PageCache) BankOf(frame int64) int { return int(frame / c.pagesPerBank)
 // Lookup reports whether page is resident. On a hit the page becomes MRU
 // and its frame is returned.
 func (c *PageCache) Lookup(page int64) (frame int64, hit bool) {
-	e, ok := c.entries[page]
+	f, ok := c.table.Get(page)
 	if !ok {
 		return 0, false
 	}
-	c.moveToFront(e)
-	return e.frame, true
+	c.moveToFront(int32(f))
+	return f, true
 }
 
 // Peek reports residency and the frame without touching LRU order.
 func (c *PageCache) Peek(page int64) (frame int64, hit bool) {
-	e, ok := c.entries[page]
+	f, ok := c.table.Get(page)
 	if !ok {
 		return 0, false
 	}
-	return e.frame, true
+	return f, true
 }
 
 // Insert makes page resident (it must not already be resident), evicting
 // the LRU page if the cache is full. It returns the frame assigned and
 // the evicted page (or -1 if none).
 func (c *PageCache) Insert(page int64) (frame int64, evicted int64) {
-	if _, ok := c.entries[page]; ok {
+	if _, ok := c.table.Get(page); ok {
 		panic("cache: Insert of resident page")
 	}
 	evicted = -1
 	if c.count >= c.capacity {
 		evicted = c.evictLRU()
 	}
-	f := heap.Pop(&c.free).(int64)
-	e := &entry{page: page, frame: f}
-	c.entries[page] = e
-	c.byFrame[f] = e
-	c.pushFront(e)
+	f := c.free.pop()
+	c.table.Put(page, int64(f))
+	c.pages[f] = page
+	c.pushFront(f)
 	c.count++
-	return f, evicted
+	return int64(f), evicted
 }
 
 // Resize sets the usable capacity in frames, clamped to the installed
@@ -150,8 +161,8 @@ func (c *PageCache) InvalidateBank(bank int) int64 {
 	}
 	var n int64
 	for f := lo; f < hi; f++ {
-		if e := c.byFrame[f]; e != nil {
-			c.remove(e)
+		if c.pages[f] != nilFrame {
+			c.remove(int32(f))
 			n++
 		}
 	}
@@ -167,7 +178,7 @@ func (c *PageCache) BankOccupancy(bank int) int64 {
 	}
 	var n int64
 	for f := lo; f < hi; f++ {
-		if c.byFrame[f] != nil {
+		if c.pages[f] != nilFrame {
 			n++
 		}
 	}
@@ -175,67 +186,97 @@ func (c *PageCache) BankOccupancy(bank int) int64 {
 }
 
 func (c *PageCache) evictLRU() int64 {
-	e := c.tail
-	if e == nil {
+	f := c.tail
+	if f == nilFrame {
 		return -1
 	}
-	c.remove(e)
-	return e.page
+	page := c.pages[f]
+	c.remove(f)
+	return page
 }
 
-func (c *PageCache) remove(e *entry) {
-	c.unlink(e)
-	delete(c.entries, e.page)
-	c.byFrame[e.frame] = nil
-	heap.Push(&c.free, e.frame)
+func (c *PageCache) remove(f int32) {
+	c.unlink(f)
+	c.table.Delete(c.pages[f])
+	c.pages[f] = nilFrame
+	c.free.push(f)
 	c.count--
 }
 
-func (c *PageCache) pushFront(e *entry) {
-	e.prev = nil
-	e.next = c.head
-	if c.head != nil {
-		c.head.prev = e
+func (c *PageCache) pushFront(f int32) {
+	c.prev[f] = nilFrame
+	c.next[f] = c.head
+	if c.head != nilFrame {
+		c.prev[c.head] = f
 	}
-	c.head = e
-	if c.tail == nil {
-		c.tail = e
+	c.head = f
+	if c.tail == nilFrame {
+		c.tail = f
 	}
 }
 
-func (c *PageCache) unlink(e *entry) {
-	if e.prev != nil {
-		e.prev.next = e.next
+func (c *PageCache) unlink(f int32) {
+	if p := c.prev[f]; p != nilFrame {
+		c.next[p] = c.next[f]
 	} else {
-		c.head = e.next
+		c.head = c.next[f]
 	}
-	if e.next != nil {
-		e.next.prev = e.prev
+	if n := c.next[f]; n != nilFrame {
+		c.prev[n] = c.prev[f]
 	} else {
-		c.tail = e.prev
+		c.tail = c.prev[f]
 	}
-	e.prev, e.next = nil, nil
 }
 
-func (c *PageCache) moveToFront(e *entry) {
-	if c.head == e {
+func (c *PageCache) moveToFront(f int32) {
+	if c.head == f {
 		return
 	}
-	c.unlink(e)
-	c.pushFront(e)
+	c.unlink(f)
+	c.pushFront(f)
 }
 
-// frameHeap is a min-heap of free frame indices.
-type frameHeap []int64
+// frameHeap is an inline min-heap of free frame indices; pop always
+// returns the lowest free frame, which is what keeps occupancy packed
+// into low-numbered banks.
+type frameHeap []int32
 
-func (h frameHeap) Len() int            { return len(h) }
-func (h frameHeap) Less(i, j int) bool  { return h[i] < h[j] }
-func (h frameHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *frameHeap) Push(x interface{}) { *h = append(*h, x.(int64)) }
-func (h *frameHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
+func (h *frameHeap) push(f int32) {
+	s := append(*h, f)
+	i := len(s) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if s[parent] <= s[i] {
+			break
+		}
+		s[parent], s[i] = s[i], s[parent]
+		i = parent
+	}
+	*h = s
+}
+
+func (h *frameHeap) pop() int32 {
+	s := *h
+	n := len(s) - 1
+	top := s[0]
+	s[0] = s[n]
+	s = s[:n]
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		min := l
+		if r := l + 1; r < n && s[r] < s[l] {
+			min = r
+		}
+		if s[i] <= s[min] {
+			break
+		}
+		s[i], s[min] = s[min], s[i]
+		i = min
+	}
+	*h = s
+	return top
 }

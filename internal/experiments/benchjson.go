@@ -25,20 +25,55 @@ type BenchSummary struct {
 	JointEnergyPct float64 `json:"joint_energy_pct"` // % of the always-on baseline
 	DelayedPerSec  float64 `json:"delayed_per_s"`    // long-latency request rate
 
-	WallSeconds float64 `json:"wall_s"` // measured benchmark time
-	Iterations  int     `json:"iterations"`
+	WallSeconds float64 `json:"wall_s"` // wall-clock seconds per sweep (one benchmark op)
+	// WallSecondsBefore is the wall_s of the summary previously on disk
+	// at the same path (the checked-in run a perf PR is diffing against);
+	// WriteBenchSummary fills it automatically when the file exists, so a
+	// refreshed summary carries its own before/after pair. Speedup is
+	// before/after.
+	WallSecondsBefore float64 `json:"wall_s_before,omitempty"`
+	Speedup           float64 `json:"speedup,omitempty"`
+	Iterations        int     `json:"iterations"`
+
+	AllocsPerOp  uint64  `json:"allocs_per_op,omitempty"`  // heap allocations per sweep
+	AllocMBPerOp float64 `json:"alloc_mb_per_op,omitempty"` // bytes allocated per sweep, in MB
 }
 
 // WriteBenchSummary writes s to dir/BENCH_<experiment>.json and returns
-// the path.
+// the path. If a summary already exists there and s.WallSecondsBefore is
+// unset, the old file's wall_s is chained into the new wall_s_before and
+// the speedup derived, so consecutive runs across a perf change record
+// the improvement without manual bookkeeping.
 func WriteBenchSummary(dir string, s BenchSummary) (string, error) {
+	path := filepath.Join(dir, "BENCH_"+s.Experiment+".json")
+	if s.WallSecondsBefore == 0 {
+		if prev, err := ReadBenchSummary(path); err == nil && prev.WallSeconds > 0 {
+			s.WallSecondsBefore = prev.WallSeconds
+		}
+	}
+	if s.WallSecondsBefore > 0 && s.WallSeconds > 0 {
+		s.Speedup = s.WallSecondsBefore / s.WallSeconds
+	}
 	b, err := json.MarshalIndent(s, "", "  ")
 	if err != nil {
 		return "", fmt.Errorf("experiments: encoding bench summary: %w", err)
 	}
-	path := filepath.Join(dir, "BENCH_"+s.Experiment+".json")
 	if err := os.WriteFile(path, append(b, '\n'), 0o644); err != nil {
 		return "", fmt.Errorf("experiments: writing bench summary: %w", err)
 	}
 	return path, nil
+}
+
+// ReadBenchSummary loads a summary previously written by
+// WriteBenchSummary.
+func ReadBenchSummary(path string) (BenchSummary, error) {
+	var s BenchSummary
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return s, err
+	}
+	if err := json.Unmarshal(b, &s); err != nil {
+		return s, fmt.Errorf("experiments: decoding bench summary %s: %w", path, err)
+	}
+	return s, nil
 }

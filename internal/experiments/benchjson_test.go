@@ -1,0 +1,50 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+)
+
+// TestWriteBenchSummaryChainsBefore checks that rewriting a summary at
+// the same path carries the old wall_s into wall_s_before and derives
+// the speedup, and that an explicit wall_s_before wins over the file.
+func TestWriteBenchSummaryChainsBefore(t *testing.T) {
+	dir := t.TempDir()
+
+	path, err := WriteBenchSummary(dir, BenchSummary{Experiment: "x", WallSeconds: 2.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := ReadBenchSummary(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.WallSecondsBefore != 0 || first.Speedup != 0 {
+		t.Fatalf("fresh summary should have no before/speedup, got %+v", first)
+	}
+
+	if _, err := WriteBenchSummary(dir, BenchSummary{Experiment: "x", WallSeconds: 0.5}); err != nil {
+		t.Fatal(err)
+	}
+	second, err := ReadBenchSummary(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.WallSecondsBefore != 2.0 {
+		t.Errorf("wall_s_before = %g, want 2.0 (chained from first write)", second.WallSecondsBefore)
+	}
+	if math.Abs(second.Speedup-4.0) > 1e-12 {
+		t.Errorf("speedup = %g, want 4.0", second.Speedup)
+	}
+
+	if _, err := WriteBenchSummary(dir, BenchSummary{Experiment: "x", WallSeconds: 0.5, WallSecondsBefore: 1.0}); err != nil {
+		t.Fatal(err)
+	}
+	third, err := ReadBenchSummary(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if third.WallSecondsBefore != 1.0 || math.Abs(third.Speedup-2.0) > 1e-12 {
+		t.Errorf("explicit before should win: got before=%g speedup=%g", third.WallSecondsBefore, third.Speedup)
+	}
+}

@@ -14,9 +14,9 @@ import (
 // are derived through the synthesizer, exactly as the paper's Fig. 6(b)
 // pipeline does.
 func runDataSetSweep(s Scale, seed int64) ([]*Point, error) {
-	r := newRunner(s)
 	methods := policy.Comparison(s.InstalledMem, s.FMSizes())
 	policy.SortMethods(methods)
+	r := newRunner(s, methods...)
 
 	rate := 100 * s.RateUnit
 	// The base trace must cover the metered horizon plus the warmup of

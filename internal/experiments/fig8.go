@@ -12,9 +12,9 @@ import (
 // data rates of 5–200 "MB/s". The base trace is generated at 100 and the
 // other rates derived by the synthesizer's interarrival scaling.
 func runRateSweep(s Scale, seed int64) ([]*Point, error) {
-	r := newRunner(s)
 	methods := policy.Comparison(s.InstalledMem, s.FMSizes())
 	policy.SortMethods(methods)
+	r := newRunner(s, methods...)
 
 	// The base duration must leave the metered horizon intact at the
 	// fastest rate, whose time axis compresses the most; slower points
@@ -48,9 +48,9 @@ func runRateSweep(s Scale, seed int64) ([]*Point, error) {
 // 5 "MB/s" swept across popularity densities. The paper uses the low rate
 // because "high data rates hide the effect of data popularity".
 func runPopularitySweep(s Scale, seed int64) ([]*Point, error) {
-	r := newRunner(s)
 	methods := policy.Comparison(s.InstalledMem, s.FMSizes())
 	policy.SortMethods(methods)
+	r := newRunner(s, methods...)
 
 	rate := 5 * s.RateUnit
 	warmup := s.WarmupFor(16*s.Unit, rate)

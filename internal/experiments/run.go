@@ -1,10 +1,12 @@
 package experiments
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"sync"
 
@@ -31,27 +33,58 @@ func OmitBar(utilization float64) bool {
 }
 
 // ParallelismEnv is the environment variable that overrides the runner's
-// worker count (method runs executed concurrently per sweep point).
-// Unset, non-numeric, or non-positive values fall back to
-// min(NumCPU, 8) — each paper-scale run holds tens of MB of tables, so
-// unbounded parallelism thrashes memory before it saturates cores.
+// worker count (front-end passes and policy replays executed concurrently
+// per sweep point). A positive integer is taken as an absolute worker
+// count; unset, non-numeric, or non-positive values fall back to the
+// default described at runnerParallelism.
 const ParallelismEnv = "JOINTPM_PAR"
 
-// runnerParallelism resolves the worker count from the environment.
-func runnerParallelism() int {
+// runnerParallelism resolves the worker count. memConfigs is the number
+// of independent work units a sweep point fans out (memory-configuration
+// groups plus fused runs); 0 means unknown.
+//
+// The default is min(NumCPU, max(8, memConfigs+2)). The historical hard
+// cap of 8 predates the shared cache front-end, when every worker held a
+// full engine (cache image + stack simulator) and memory pressure bound
+// the sweep before cores did. With one cache image per memory
+// configuration instead of one per method, the per-worker footprint of
+// the extra workers is a replay cursor plus disk/mem power state, so the
+// cap scales with the point's actual fan-out while NumCPU still bounds
+// useful parallelism.
+func runnerParallelism(memConfigs int) int {
 	if v := os.Getenv(ParallelismEnv); v != "" {
 		if n, err := strconv.Atoi(v); err == nil && n > 0 {
 			return n
 		}
 	}
+	ceiling := 8
+	if memConfigs+2 > ceiling {
+		ceiling = memConfigs + 2
+	}
 	par := runtime.NumCPU()
-	if par > 8 {
-		par = 8
+	if par > ceiling {
+		par = ceiling
 	}
 	if par < 1 {
 		par = 1
 	}
 	return par
+}
+
+// pointUnits counts the independent work units a method set fans out at
+// one sweep point: one per distinct shared memory configuration, plus
+// one per method that must run on the fused engine.
+func pointUnits(s Scale, methods []policy.Method) int {
+	keys := map[sim.CacheKey]bool{}
+	fused := 0
+	for _, m := range methods {
+		if key, ok := sim.SharedCacheKey(m, s.InstalledMem); ok {
+			keys[key] = true
+		} else {
+			fused++
+		}
+	}
+	return len(keys) + fused
 }
 
 // Row is one method's outcome at one sweep point, with energies
@@ -78,8 +111,15 @@ type runner struct {
 	sem   chan struct{}
 }
 
-func newRunner(s Scale) *runner {
-	return &runner{scale: s, sem: make(chan struct{}, runnerParallelism())}
+// newRunner builds a runner for the scale. When the sweep's method set
+// is known up front, passing it sizes the worker pool to the point's
+// actual fan-out (see runnerParallelism).
+func newRunner(s Scale, methods ...policy.Method) *runner {
+	units := 0
+	if len(methods) > 0 {
+		units = pointUnits(s, methods)
+	}
+	return &runner{scale: s, sem: make(chan struct{}, runnerParallelism(units))}
 }
 
 // config assembles the sim configuration for one method. warmup ≤ 0
@@ -107,18 +147,95 @@ func (r *runner) config(tr *trace.Trace, m policy.Method, warmup simtime.Seconds
 // normalises. Methods whose sustained disk demand exceeds the disk's
 // bandwidth are marked omitted, as the paper does for 2TFM-8GB/ADFM-8GB
 // at the 64 GB data set.
+//
+// Methods are grouped by shared memory configuration (sim.SharedCacheKey):
+// each group plays the trace through the cache front-end once and replays
+// every member's disk policy from the recorded stream, so a 15-method
+// point costs ~6 cache passes instead of 15 full engine runs. The joint
+// method (and any other non-shareable config) runs on the fused engine.
+// Split results are bit-identical to fused ones (see sim.Replay), so the
+// grouping is invisible in the output.
+//
+// Every run is wrapped in pprof labels ("method", "point") so a
+// -cpuprofile of a sweep attributes samples per method out of the box.
 func (r *runner) point(label string, tr *trace.Trace, methods []policy.Method, warmup simtime.Seconds) (*Point, error) {
 	results := make([]*sim.Result, len(methods))
 	errs := make([]error, len(methods))
+
+	type group struct {
+		key sim.CacheKey
+		idx []int
+	}
+	byKey := map[sim.CacheKey]*group{}
+	var groups []*group
+	var fused []int
+	for i, m := range methods {
+		key, ok := sim.SharedCacheKey(m, r.scale.InstalledMem)
+		if !ok {
+			fused = append(fused, i)
+			continue
+		}
+		g := byKey[key]
+		if g == nil {
+			g = &group{key: key}
+			byKey[key] = g
+			groups = append(groups, g)
+		}
+		g.idx = append(g.idx, i)
+	}
+
+	ctx := context.Background()
 	var wg sync.WaitGroup
-	for i := range methods {
+	runFused := func(i int) {
+		defer wg.Done()
+		r.sem <- struct{}{}
+		defer func() { <-r.sem }()
+		pprof.Do(ctx, pprof.Labels("method", methods[i].Name(), "point", label), func(context.Context) {
+			results[i], errs[i] = sim.Run(r.config(tr, methods[i], warmup))
+		})
+	}
+	for _, i := range fused {
 		wg.Add(1)
-		go func(i int) {
+		go runFused(i)
+	}
+	for _, g := range groups {
+		if len(g.idx) == 1 {
+			// A lone method gains nothing from record+replay.
+			wg.Add(1)
+			go runFused(g.idx[0])
+			continue
+		}
+		wg.Add(1)
+		go func(g *group) {
 			defer wg.Done()
 			r.sem <- struct{}{}
-			defer func() { <-r.sem }()
-			results[i], errs[i] = sim.Run(r.config(tr, methods[i], warmup))
-		}(i)
+			var rec *sim.Recording
+			var err error
+			pprof.Do(ctx, pprof.Labels("method", "frontend:"+g.key.String(), "point", label), func(context.Context) {
+				rec, err = sim.Record(r.config(tr, methods[g.idx[0]], warmup))
+			})
+			<-r.sem
+			if err != nil {
+				for _, i := range g.idx {
+					errs[i] = err
+				}
+				return
+			}
+			defer rec.Release()
+			var rwg sync.WaitGroup
+			for _, i := range g.idx {
+				rwg.Add(1)
+				go func(i int) {
+					defer rwg.Done()
+					r.sem <- struct{}{}
+					defer func() { <-r.sem }()
+					pprof.Do(ctx, pprof.Labels("method", methods[i].Name(), "point", label), func(context.Context) {
+						results[i], errs[i] = rec.Replay(methods[i])
+					})
+				}(i)
+			}
+			rwg.Wait()
+		}(g)
 	}
 	wg.Wait()
 	// Surface every failed method at this sweep point in one error, not

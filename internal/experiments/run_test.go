@@ -26,29 +26,35 @@ func TestOmitBarRule(t *testing.T) {
 }
 
 func TestRunnerParallelismEnv(t *testing.T) {
-	defCap := runtime.NumCPU()
-	if defCap > 8 {
-		defCap = 8
-	}
-	if defCap < 1 {
-		defCap = 1
+	clamp := func(ceiling int) int {
+		n := runtime.NumCPU()
+		if n > ceiling {
+			n = ceiling
+		}
+		if n < 1 {
+			n = 1
+		}
+		return n
 	}
 	cases := []struct {
-		env  string
-		want int
+		env   string
+		units int
+		want  int
 	}{
-		{"", defCap},
-		{"3", 3},
-		{"1", 1},
-		{"64", 64},
-		{"0", defCap},     // non-positive falls back
-		{"-2", defCap},    // non-positive falls back
-		{"bogus", defCap}, // non-numeric falls back
+		{"", 0, clamp(8)},
+		{"", 4, clamp(8)},   // small fan-out keeps the historical ceiling
+		{"", 16, clamp(18)}, // large fan-out raises it to units+2
+		{"3", 0, 3},
+		{"1", 16, 1}, // env override is absolute, ignores fan-out
+		{"64", 0, 64},
+		{"0", 0, clamp(8)},     // non-positive falls back
+		{"-2", 0, clamp(8)},    // non-positive falls back
+		{"bogus", 0, clamp(8)}, // non-numeric falls back
 	}
 	for _, c := range cases {
 		t.Setenv(ParallelismEnv, c.env)
-		if got := runnerParallelism(); got != c.want {
-			t.Errorf("JOINTPM_PAR=%q: parallelism = %d, want %d", c.env, got, c.want)
+		if got := runnerParallelism(c.units); got != c.want {
+			t.Errorf("JOINTPM_PAR=%q units=%d: parallelism = %d, want %d", c.env, c.units, got, c.want)
 		}
 	}
 }

@@ -1,0 +1,45 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+
+	"jointpm/internal/policy"
+	"jointpm/internal/sim"
+)
+
+// TestSplitPathMatchesFusedAtQuickScale is the sweep-level half of the
+// tentpole equivalence proof: at QuickScale, with the full Fig. 7 method
+// set, every result the grouped point() produces must be
+// reflect.DeepEqual to a fused sim.Run of the same config — the split
+// path is a pure optimisation, invisible in the output.
+func TestSplitPathMatchesFusedAtQuickScale(t *testing.T) {
+	s := quick()
+	methods := policy.Comparison(s.InstalledMem, s.FMSizes())
+	policy.SortMethods(methods)
+	r := newRunner(s, methods...)
+
+	rate := 100 * s.RateUnit
+	warmup := s.WarmupFor(4*s.Unit, rate)
+	tr, err := s.GenerateBase(4*s.Unit, rate, 0.1, 3, warmup)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	p, err := r.point("equiv", tr, methods, warmup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Rows) != len(methods) {
+		t.Fatalf("point returned %d rows for %d methods", len(p.Rows), len(methods))
+	}
+	for _, row := range p.Rows {
+		fused, err := sim.Run(r.config(tr, row.Method, warmup))
+		if err != nil {
+			t.Fatalf("fused %s: %v", row.Method.Name(), err)
+		}
+		if !reflect.DeepEqual(fused, row.Result) {
+			t.Errorf("%s: grouped point result differs from fused engine", row.Method.Name())
+		}
+	}
+}

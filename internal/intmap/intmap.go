@@ -1,0 +1,164 @@
+// Package intmap provides an open-addressed hash table from non-negative
+// int64 keys to int64 values, specialised for the simulator's hot paths
+// (page → frame in the page cache, page → stack position in the LRU
+// stack simulator). Compared with a built-in map[int64]T it avoids
+// per-bucket overflow pointers and interface boxing, keeps keys and
+// values in two flat arrays for cache locality, and supports O(1)
+// clear-with-capacity reuse.
+//
+// The table uses Fibonacci hashing with linear probing and backward-shift
+// deletion (no tombstones), the same design as core's pageSet. Load is
+// kept at or below 1/2, so probe sequences stay short even under
+// adversarial key sets.
+//
+// Keys must be ≥ 0; the table reserves -1 internally as the empty slot
+// marker.
+package intmap
+
+const emptySlot = -1
+
+// fibMult is 2^64 / φ, the multiplicative constant of Fibonacci hashing;
+// it scrambles consecutive page numbers (the common key pattern here)
+// into well-spread slots.
+const fibMult = 0x9E3779B97F4A7C15
+
+// Map is an open-addressed int64 → int64 hash table. The zero value is
+// not ready for use; call New.
+type Map struct {
+	keys  []int64
+	vals  []int64
+	shift uint // 64 - log2(len(keys))
+	n     int
+}
+
+// New returns a map sized to hold at least capacity entries without
+// growing.
+func New(capacity int) *Map {
+	m := &Map{}
+	size := 16
+	for size < 2*capacity {
+		size <<= 1
+	}
+	m.init(size)
+	return m
+}
+
+func (m *Map) init(size int) {
+	m.keys = make([]int64, size)
+	m.vals = make([]int64, size)
+	for i := range m.keys {
+		m.keys[i] = emptySlot
+	}
+	shift := uint(64)
+	for s := size; s > 1; s >>= 1 {
+		shift--
+	}
+	m.shift = shift
+	m.n = 0
+}
+
+// Len returns the number of entries.
+func (m *Map) Len() int { return m.n }
+
+func (m *Map) home(key int64) uint64 {
+	return (uint64(key) * fibMult) >> m.shift
+}
+
+// slot returns the index holding key, or -1 if absent.
+func (m *Map) slot(key int64) int {
+	mask := uint64(len(m.keys) - 1)
+	for i := m.home(key); ; i = (i + 1) & mask {
+		switch m.keys[i] {
+		case key:
+			return int(i)
+		case emptySlot:
+			return -1
+		}
+	}
+}
+
+// Get returns the value stored for key.
+func (m *Map) Get(key int64) (int64, bool) {
+	if i := m.slot(key); i >= 0 {
+		return m.vals[i], true
+	}
+	return 0, false
+}
+
+// Put inserts or replaces the value for key. key must be ≥ 0.
+func (m *Map) Put(key, val int64) {
+	if key < 0 {
+		panic("intmap: negative key")
+	}
+	if 2*(m.n+1) > len(m.keys) {
+		m.grow()
+	}
+	mask := uint64(len(m.keys) - 1)
+	for i := m.home(key); ; i = (i + 1) & mask {
+		switch m.keys[i] {
+		case key:
+			m.vals[i] = val
+			return
+		case emptySlot:
+			m.keys[i] = key
+			m.vals[i] = val
+			m.n++
+			return
+		}
+	}
+}
+
+// Delete removes key, reporting whether it was present. Deletion uses
+// backward shifting: later entries of the probe chain slide into the
+// hole, so lookups never need tombstones.
+func (m *Map) Delete(key int64) bool {
+	i := m.slot(key)
+	if i < 0 {
+		return false
+	}
+	m.n--
+	mask := uint64(len(m.keys) - 1)
+	hole := uint64(i)
+	for j := (hole + 1) & mask; ; j = (j + 1) & mask {
+		k := m.keys[j]
+		if k == emptySlot {
+			break
+		}
+		// Entry j may fill the hole only if its home position lies
+		// cyclically at or before the hole; otherwise moving it would
+		// break its own probe chain.
+		if (j-m.home(k))&mask >= (j-hole)&mask {
+			m.keys[hole] = k
+			m.vals[hole] = m.vals[j]
+			hole = j
+		}
+	}
+	m.keys[hole] = emptySlot
+	return true
+}
+
+// Reset removes all entries, keeping the allocated capacity.
+func (m *Map) Reset() {
+	for i := range m.keys {
+		m.keys[i] = emptySlot
+	}
+	m.n = 0
+}
+
+func (m *Map) grow() {
+	oldKeys, oldVals := m.keys, m.vals
+	m.init(2 * len(oldKeys))
+	mask := uint64(len(m.keys) - 1)
+	for i, k := range oldKeys {
+		if k == emptySlot {
+			continue
+		}
+		j := m.home(k)
+		for m.keys[j] != emptySlot {
+			j = (j + 1) & mask
+		}
+		m.keys[j] = k
+		m.vals[j] = oldVals[i]
+		m.n++
+	}
+}

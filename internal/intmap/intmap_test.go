@@ -1,0 +1,85 @@
+package intmap
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestDifferentialAgainstBuiltinMap drives the open-addressed table and a
+// built-in map through the same randomized Put/Delete/Get workload and
+// requires identical observable behaviour, including backward-shift
+// deletion keeping every surviving probe chain intact.
+func TestDifferentialAgainstBuiltinMap(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	m := New(4)
+	ref := map[int64]int64{}
+
+	// Small key space forces heavy collision/delete/reinsert churn.
+	const keySpace = 512
+	for op := 0; op < 200000; op++ {
+		key := rng.Int63n(keySpace)
+		switch rng.Intn(3) {
+		case 0:
+			val := rng.Int63()
+			m.Put(key, val)
+			ref[key] = val
+		case 1:
+			got := m.Delete(key)
+			_, want := ref[key]
+			if got != want {
+				t.Fatalf("op %d: Delete(%d) = %v, want %v", op, key, got, want)
+			}
+			delete(ref, key)
+		case 2:
+			gotV, gotOK := m.Get(key)
+			wantV, wantOK := ref[key]
+			if gotOK != wantOK || (gotOK && gotV != wantV) {
+				t.Fatalf("op %d: Get(%d) = %d,%v want %d,%v", op, key, gotV, gotOK, wantV, wantOK)
+			}
+		}
+		if m.Len() != len(ref) {
+			t.Fatalf("op %d: Len = %d, want %d", op, m.Len(), len(ref))
+		}
+	}
+
+	// Full sweep at the end: every reference entry must be present.
+	for k, v := range ref {
+		got, ok := m.Get(k)
+		if !ok || got != v {
+			t.Fatalf("final: Get(%d) = %d,%v want %d,true", k, got, ok, v)
+		}
+	}
+}
+
+func TestResetKeepsCapacity(t *testing.T) {
+	m := New(1)
+	for i := int64(0); i < 1000; i++ {
+		m.Put(i, i*2)
+	}
+	size := len(m.keys)
+	m.Reset()
+	if m.Len() != 0 {
+		t.Fatalf("Len after Reset = %d", m.Len())
+	}
+	if len(m.keys) != size {
+		t.Fatalf("Reset shrank table: %d -> %d", size, len(m.keys))
+	}
+	if _, ok := m.Get(3); ok {
+		t.Fatal("entry survived Reset")
+	}
+	for i := int64(0); i < 1000; i++ {
+		m.Put(i, i)
+	}
+	if len(m.keys) != size {
+		t.Fatalf("refill grew table: %d -> %d", size, len(m.keys))
+	}
+}
+
+func TestNegativeKeyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Put(-1) did not panic")
+		}
+	}()
+	New(4).Put(-1, 0)
+}

@@ -11,7 +11,10 @@
 // testing and for the ablation benchmark.
 package lrusim
 
-import "jointpm/internal/fenwick"
+import (
+	"jointpm/internal/fenwick"
+	"jointpm/internal/intmap"
+)
 
 // Cold is the depth reported for a page's first reference (or a reference
 // to a page already pushed out of the tracked ghost region). Such
@@ -22,8 +25,8 @@ const Cold = -1
 type StackSim struct {
 	maxTracked int // resident + ghost capacity, in pages
 
-	posOf   map[int64]int // page -> position (higher = more recent)
-	pageAt  []int64       // position -> page, -1 when dead
+	posOf   *intmap.Map // page -> position (higher = more recent)
+	pageAt  []int64     // position -> page, -1 when dead
 	live    *fenwick.Tree // 1 at each live position
 	nextPos int
 	count   int
@@ -44,7 +47,7 @@ func NewStackSim(maxTracked int) *StackSim {
 	}
 	return &StackSim{
 		maxTracked: maxTracked,
-		posOf:      make(map[int64]int, maxTracked),
+		posOf:      intmap.New(maxTracked),
 		pageAt:     newPageAt(capacity),
 		live:       fenwick.New(capacity),
 	}
@@ -67,8 +70,9 @@ func (s *StackSim) Reference(page int64) int {
 		s.compact()
 	}
 	depth := Cold
-	if old, ok := s.posOf[page]; ok {
+	if pos, ok := s.posOf.Get(page); ok {
 		// Depth = pages referenced more recently than this one, plus one.
+		old := int(pos)
 		depth = int(s.live.RangeSum(old+1, s.nextPos-1)) + 1
 		s.live.Add(old, -1)
 		s.pageAt[old] = -1
@@ -76,7 +80,7 @@ func (s *StackSim) Reference(page int64) int {
 	} else {
 		s.colds++
 	}
-	s.posOf[page] = s.nextPos
+	s.posOf.Put(page, int64(s.nextPos))
 	s.pageAt[s.nextPos] = page
 	s.live.Add(s.nextPos, 1)
 	s.nextPos++
@@ -94,7 +98,7 @@ func (s *StackSim) evictOldest() {
 	page := s.pageAt[pos]
 	s.live.Add(pos, -1)
 	s.pageAt[pos] = -1
-	delete(s.posOf, page)
+	s.posOf.Delete(page)
 	s.count--
 }
 
@@ -106,7 +110,7 @@ func (s *StackSim) compact() {
 	for _, page := range s.pageAt {
 		if page >= 0 {
 			newAt[n] = page
-			s.posOf[page] = n
+			s.posOf.Put(page, int64(n))
 			n++
 		}
 	}

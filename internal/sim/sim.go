@@ -9,6 +9,7 @@ package sim
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"jointpm/internal/cache"
 	"jointpm/internal/core"
@@ -210,6 +211,7 @@ type engine struct {
 
 	stack     *lrusim.StackSim
 	periodLog []lrusim.DepthRecord
+	logBuf    *[]lrusim.DepthRecord // pooled backing array for periodLog
 
 	obsm engineMetrics
 
@@ -303,6 +305,8 @@ func newEngine(cfg Config) (*engine, error) {
 		}
 		e.manager = mgr
 		e.stack = lrusim.NewStackSim(int(installedFrames))
+		e.logBuf = depthLogs.Get().(*[]lrusim.DepthRecord)
+		e.periodLog = (*e.logBuf)[:0]
 	}
 	e.res.Method = cfg.Method
 	return e, nil
@@ -380,8 +384,20 @@ func (e *engine) run() (*Result, error) {
 		nextBoundary += period
 	}
 	e.finish(end)
+	if e.logBuf != nil {
+		// The manager consumes each period's log synchronously inside
+		// Decide, so the backing array can go back to the pool.
+		*e.logBuf = e.periodLog[:0]
+		depthLogs.Put(e.logBuf)
+		e.logBuf, e.periodLog = nil, nil
+	}
 	return &e.res, nil
 }
+
+// depthLogs pools the joint method's per-period depth-record buffer
+// across runs; a sweep reuses one grown array instead of re-growing it
+// for every method×point run.
+var depthLogs = sync.Pool{New: func() any { return new([]lrusim.DepthRecord) }}
 
 // serve plays one client request: page-by-page cache lookup with lazy
 // disable checks, miss-run coalescing into disk requests, and latency
