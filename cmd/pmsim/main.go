@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"jointpm/internal/core"
+	"jointpm/internal/fault"
 	"jointpm/internal/obs"
 	"jointpm/internal/policy"
 	"jointpm/internal/profiling"
@@ -47,6 +48,8 @@ func run() (retErr error) {
 		metricsAddr   = flag.String("metrics-addr", "", "serve /metrics and /debug/vars on this address while running")
 		metricsLinger = flag.Duration("metrics-linger", 0, "keep serving metrics this long after the run finishes")
 		decTrace      = flag.String("decision-trace", "", "append one JSON line per joint decision to this file")
+		faultsPath    = flag.String("faults", "", "JSON fault plan: run under injected faults and check invariants")
+		faultSeed     = flag.Uint64("fault-seed", 1, "seed for the -faults injector")
 		cpuprofile    = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile    = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
@@ -119,7 +122,7 @@ func run() (retErr error) {
 		}
 	}()
 
-	res, err := sim.Run(sim.Config{
+	cfg := sim.Config{
 		Trace:         tr,
 		Method:        m,
 		InstalledMem:  installed,
@@ -129,9 +132,29 @@ func run() (retErr error) {
 		Joint:         &core.Params{DelayCap: *delayCap},
 		Metrics:       reg,
 		DecisionTrace: sink,
-	})
-	if err != nil {
-		return fmt.Errorf("simulating %s: %w", m.Name(), err)
+	}
+	var (
+		res *sim.Result
+		rep *fault.Report
+	)
+	if *faultsPath != "" {
+		// Faulted run: the invariant harness transforms the trace, wires
+		// the injector, and checks the safety invariants. It meters the
+		// run through its own registry so counter snapshots are per-seed.
+		plan, err := fault.LoadPlan(*faultsPath)
+		if err != nil {
+			return err
+		}
+		rep, err = fault.CheckRun(cfg, plan, *faultSeed)
+		if err != nil {
+			return fmt.Errorf("simulating %s under -faults: %w", m.Name(), err)
+		}
+		res = rep.Result
+	} else {
+		res, err = sim.Run(cfg)
+		if err != nil {
+			return fmt.Errorf("simulating %s: %w", m.Name(), err)
+		}
 	}
 
 	fmt.Printf("method           %s\n", m.Name())
@@ -149,6 +172,20 @@ func run() (retErr error) {
 	fmt.Printf("mean latency     %v\n", res.MeanLatency())
 	fmt.Printf("utilization      %.2f%%\n", res.Utilization*100)
 	fmt.Printf("long latency     %d requests (%.3f/s)\n", res.Delayed, res.DelayedPerSecond())
+
+	if rep != nil {
+		fmt.Printf("faults injected  %d (spin-up retries %d, latency spikes %d, bank failures %d)\n",
+			rep.FaultsInjected, rep.SpinUpRetries, rep.LatencySpikes, rep.BankFailures)
+		fmt.Printf("degradation      %d degenerate fits, %d fallback decisions\n",
+			rep.FitDegenerate, rep.FallbackDecisions)
+		if len(rep.Violations) > 0 {
+			for _, v := range rep.Violations {
+				fmt.Fprintln(os.Stderr, "pmsim: invariant violated:", v)
+			}
+			return fmt.Errorf("%d invariant violations under -faults %s", len(rep.Violations), *faultsPath)
+		}
+		fmt.Printf("invariants       ok\n")
+	}
 
 	if *periods {
 		fmt.Println("\nperiod  accesses  misses  requests  util%   meanidle  banks  timeout  delayed")

@@ -205,6 +205,13 @@ type Decision struct {
 	Chosen     Candidate
 	Evaluated  int         // candidates examined across refinement passes
 	Candidates []Candidate // all evaluated candidates, ascending by size
+	// Fallback reports that degraded inputs — a degenerate Pareto fit on
+	// a winner that predicted disk activity, or non-finite pricing — made
+	// the manager distrust this period's search and hold its previous configuration
+	// (or the initial all-banks/t_be default when there is no history).
+	// Banks/Pages/Timeout carry the held configuration; Chosen still
+	// carries the distrusted winner for introspection.
+	Fallback bool
 }
 
 // Manager evaluates observations into decisions. It is deterministic and
@@ -381,6 +388,25 @@ func (m *Manager) Decide(obs Observation) Decision {
 		Chosen:     best,
 		Evaluated:  evaluated,
 		Candidates: all,
+	}
+	// Fallback ladder (graceful degradation): a winner whose Pareto fit
+	// degenerated despite predicted disk activity has a made-up timeout,
+	// and one whose pricing went non-finite won a garbage comparison.
+	// Neither is worth acting on — hold the previous period's (m, t_o)
+	// instead. Before any history exists, m.last is NewManager's safe
+	// default: every bank enabled with the 2-competitive t_be timeout.
+	//
+	// A degenerate fit with zero predicted accesses is NOT degradation:
+	// an over-provisioned cache legitimately leaves the whole period as
+	// one idle interval, the sizing never consulted the tail, and the
+	// 2-competitive t_be the candidate already carries is the honest
+	// timeout for a disk with no observed idle structure.
+	if (!best.FitOK && best.DiskAccesses > 0) || !finitePower(best) {
+		d.Banks = m.last.Banks
+		d.Pages = m.last.Pages
+		d.Timeout = m.last.Timeout
+		d.Fallback = true
+		m.met.fallbacks.Inc()
 	}
 	m.last = d
 	m.recordDecision(d)
@@ -727,11 +753,29 @@ func (m *Manager) price(obs Observation, banks int, prof *depthProfile, interval
 
 	c.TotalPower = c.DiskPMPower + c.DiskDynPower + c.MemPower
 	c.Feasible = c.Utilization <= p.UtilCap
+	// A candidate whose pricing degenerated to NaN/Inf — a hostile trace
+	// segment, a poisoned coalesce factor — must never win on a garbage
+	// comparison: an Inf utilization already fails the cap above, but a
+	// NaN power would sort unpredictably through better().
+	if math.IsNaN(c.Utilization) || math.IsInf(c.Utilization, 0) ||
+		math.IsNaN(float64(c.TotalPower)) || math.IsInf(float64(c.TotalPower), 0) ||
+		math.IsNaN(float64(c.Timeout)) {
+		c.Feasible = false
+		m.met.nonFinite.Inc()
+	}
 	m.met.candidates.Inc()
 	if !c.Feasible {
 		m.met.rejectedUtil.Inc()
 	}
 	return c
+}
+
+// finitePower reports that a candidate's pricing stayed numerically sane
+// (its timeout may legitimately be +Inf when spin-down is disabled).
+func finitePower(c Candidate) bool {
+	return !math.IsNaN(c.Utilization) && !math.IsInf(c.Utilization, 0) &&
+		!math.IsNaN(float64(c.TotalPower)) && !math.IsInf(float64(c.TotalPower), 0) &&
+		!math.IsNaN(float64(c.Timeout))
 }
 
 // TimeoutChoice is the outcome of the Pareto timeout analysis for one
@@ -758,6 +802,17 @@ func (m *Manager) ChooseTimeout(intervals []float64, nd, cacheAccesses int64, sp
 	tc := TimeoutChoice{Timeout: simtime.Seconds(tbe), Unclamped: simtime.Seconds(tbe)}
 	fit, err := pareto.FitMoments(intervals, float64(p.Window))
 	if err != nil {
+		// Degenerate sample (empty, or mean not exceeding the scale):
+		// there is no Pareto tail to derive t_o from. The candidate keeps
+		// the 2-competitive t_be; if it wins the slate, Decide falls back
+		// to the previous period's decision rather than trusting it.
+		m.met.fitDegenerate.Inc()
+		return tc
+	}
+	if !fit.Valid() {
+		// The clamped fitters cannot produce this today, but a non-finite
+		// or sub-critical fit must never reach the timeout arithmetic.
+		m.met.fitDegenerate.Inc()
 		return tc
 	}
 	tc.Fit = fit

@@ -21,6 +21,9 @@ type coreMetrics struct {
 	spinDisabled   *obs.Counter // core.decide.spindown_disabled
 	hysteresis     *obs.Counter // core.decide.hysteresis_holds
 	refillBytes    *obs.Counter // core.decide.refill_bytes
+	fitDegenerate  *obs.Counter // core.decide.fit_degenerate
+	fallbacks      *obs.Counter // core.decide.fallback_decisions
+	nonFinite      *obs.Counter // core.decide.nonfinite_candidates
 
 	banks   *obs.Gauge // core.decide.banks
 	timeout *obs.Gauge // core.decide.timeout_s
@@ -40,6 +43,9 @@ func newCoreMetrics(r *obs.Registry) coreMetrics {
 		spinDisabled:   r.Counter("core.decide.spindown_disabled"),
 		hysteresis:     r.Counter("core.decide.hysteresis_holds"),
 		refillBytes:    r.Counter("core.decide.refill_bytes"),
+		fitDegenerate:  r.Counter("core.decide.fit_degenerate"),
+		fallbacks:      r.Counter("core.decide.fallback_decisions"),
+		nonFinite:      r.Counter("core.decide.nonfinite_candidates"),
 		banks:          r.Gauge("core.decide.banks"),
 		timeout:        r.Gauge("core.decide.timeout_s"),
 		power:          r.Gauge("core.decide.total_power_w"),
@@ -131,6 +137,11 @@ func (m *Manager) emitTrace(o Observation, d Decision, held bool) {
 		Chosen:         candidateSummary(d.Chosen),
 		Evaluated:      d.Evaluated,
 		HysteresisHold: held,
+	}
+	if d.Fallback {
+		rec.Fallback = true
+		rec.FallbackBanks = d.Banks
+		rec.FallbackTimeoutS = obs.Float(d.Timeout)
 	}
 	// Runner-ups: every other candidate, ranked best-first by the
 	// decision ordering, truncated to traceTopK.

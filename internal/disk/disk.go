@@ -125,6 +125,29 @@ type Metrics struct {
 	IdleGaps  *obs.Histogram
 }
 
+// FaultInjector injects deterministic failures into the disk model (see
+// internal/fault). A nil injector is the fault-free disk; with one
+// attached, every standby→idle transition and every request consults it.
+// Injectors must be deterministic given the submission order — the
+// simulator replays runs bit-identically and the fault layer must not
+// break that.
+type FaultInjector interface {
+	// SpinUpAttempt is consulted once per standby→idle transition at
+	// simulated time t. It returns how many spin-up attempts failed
+	// before the successful one and the per-attempt backoff delay; the
+	// disk stays in standby for retries·backoff before the real spin-up
+	// starts. Implementations must bound retries — the disk model
+	// guarantees the final attempt succeeds, so a request can be
+	// delayed by faults but never lost and the disk never wedges in
+	// the down state.
+	SpinUpAttempt(t simtime.Seconds) (retries int, backoff simtime.Seconds)
+	// ServiceDelay returns extra service time injected into the request
+	// arriving at t (a transient read-latency spike). It is added to
+	// the mechanical service time, so it counts as busy time in the
+	// utilization and energy accounting.
+	ServiceDelay(t simtime.Seconds) simtime.Seconds
+}
+
 // Observer receives power-relevant disk events. The adaptive-timeout
 // policy subscribes to tune its timeout from observed idleness.
 type Observer interface {
@@ -191,6 +214,7 @@ type Disk struct {
 	stats    Stats
 	observer Observer
 	metrics  Metrics
+	faults   FaultInjector
 
 	idleRecorder func(simtime.Seconds) // optional sink for raw idle intervals
 }
@@ -218,6 +242,10 @@ func (d *Disk) SetObserver(o Observer) { d.observer = o }
 // SetMetrics attaches telemetry instruments (see Metrics). Passing the
 // zero Metrics detaches them.
 func (d *Disk) SetMetrics(m Metrics) { d.metrics = m }
+
+// SetFaults attaches a fault injector (nil detaches it and restores the
+// fault-free disk).
+func (d *Disk) SetFaults(f FaultInjector) { d.faults = f }
 
 // SetIdleRecorder registers a sink that receives every idle-interval
 // length as it closes (used by Fig. 9 instrumentation).
@@ -280,6 +308,11 @@ func (d *Disk) Submit(arrival simtime.Seconds, size simtime.Bytes) (finish, late
 // (the zoned model supplies location-dependent times).
 func (d *Disk) submitWithService(arrival simtime.Seconds, size simtime.Bytes, service simtime.Seconds) (finish, latency simtime.Seconds) {
 	d.advance(arrival) // accounts on/standby time up to arrival, incl. timeout expiry
+	if d.faults != nil {
+		if extra := d.faults.ServiceDelay(arrival); extra > 0 {
+			service += extra
+		}
+	}
 
 	start := arrival
 	if d.freeAt > start {
@@ -297,6 +330,17 @@ func (d *Disk) submitWithService(arrival simtime.Seconds, size simtime.Bytes, se
 		// The idle gap ran from the last completion through this arrival;
 		// the request additionally waits out the spin-up.
 		notify, gap, spunDown = true, arrival-d.idleSince, true
+		if d.faults != nil {
+			if retries, backoff := d.faults.SpinUpAttempt(arrival); retries > 0 {
+				// Failed attempts leave the platter down: the retry window
+				// is standby time, not spinning time, and the request waits
+				// it out in front of the real spin-up.
+				delay := simtime.Seconds(retries) * backoff
+				d.stats.StandbyTime += delay
+				d.now += delay
+				start += delay
+			}
+		}
 		start += d.spec.SpinUpTime
 		d.state = StateIdle
 		d.metrics.SpinUps.Inc()

@@ -1,0 +1,187 @@
+package fault
+
+import (
+	"jointpm/internal/obs"
+	"jointpm/internal/simtime"
+	"jointpm/internal/trace"
+)
+
+// Fault domains. Each domain draws from its own deterministic stream so
+// adding a fault type (or a disk request) never perturbs another
+// domain's outcomes.
+const (
+	domainSpinUp = iota
+	domainService
+	domainBank
+	numDomains
+)
+
+// domainState keys one domain's draw stream: draws are a pure function
+// of (seed, domain, period index, op index within the period). The op
+// counter resets at each period boundary so a replay of period k sees
+// the same stream regardless of what earlier periods did.
+type domainState struct {
+	period int64
+	op     uint64
+}
+
+type injectorMetrics struct {
+	injected      *obs.Counter // fault.injected
+	spinupRetries *obs.Counter // fault.spinup_retries
+	latencySpikes *obs.Counter // fault.latency_spikes
+	bankFailures  *obs.Counter // fault.bank_failures
+}
+
+// Injector replays a Plan deterministically. It implements
+// disk.FaultInjector and mem.FaultInjector. An injector carries
+// per-domain op counters, so it must not be shared across concurrent
+// runs — build one per run (they are cheap).
+type Injector struct {
+	plan   Plan
+	period simtime.Seconds
+	dom    [numDomains]domainState
+	met    injectorMetrics
+}
+
+// NewInjector builds an injector for one run. period is the simulation's
+// adaptation period (≤0 uses the paper's 600 s); it windows the draw
+// streams so faults are a function of the period index. r receives the
+// fault.* counters; nil disables them.
+func NewInjector(p Plan, period simtime.Seconds, r *obs.Registry) *Injector {
+	if period <= 0 {
+		period = 600
+	}
+	return &Injector{
+		plan:   p.withDefaults(),
+		period: period,
+		met: injectorMetrics{
+			injected:      r.Counter("fault.injected"),
+			spinupRetries: r.Counter("fault.spinup_retries"),
+			latencySpikes: r.Counter("fault.latency_spikes"),
+			bankFailures:  r.Counter("fault.bank_failures"),
+		},
+	}
+}
+
+// Plan returns the injector's plan (after default filling).
+func (j *Injector) Plan() Plan { return j.plan }
+
+// draw returns the next deterministic uniform [0,1) variate for a
+// domain at simulation time t.
+func (j *Injector) draw(domain int, t simtime.Seconds) float64 {
+	p := int64(t / j.period)
+	d := &j.dom[domain]
+	if p != d.period {
+		d.period = p
+		d.op = 0
+	}
+	op := d.op
+	d.op++
+	return u01(j.plan.Seed, uint64(domain), uint64(p), op)
+}
+
+// u01 hashes (seed, domain, period, op) to a uniform [0,1) float via a
+// splitmix64-style finalizer. Pure: no state, no time, no math/rand.
+func u01(seed, domain, period, op uint64) float64 {
+	x := seed
+	x ^= domain * 0x9e3779b97f4a7c15
+	x = mix(x)
+	x ^= period * 0xbf58476d1ce4e5b9
+	x = mix(x)
+	x ^= op * 0x94d049bb133111eb
+	x = mix(x)
+	return float64(x>>11) / (1 << 53)
+}
+
+func mix(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// SpinUpAttempt implements disk.FaultInjector: it scripts how many
+// consecutive spin-up attempts fail at time t and the per-retry backoff.
+// Retries are bounded by the plan's SpinUpMaxRetries, so the attempt
+// after the last failure always succeeds — the disk never wedges down.
+func (j *Injector) SpinUpAttempt(t simtime.Seconds) (retries int, backoff simtime.Seconds) {
+	pr := j.plan.Disk.SpinUpFailProb
+	if pr <= 0 {
+		return 0, 0
+	}
+	for retries < j.plan.Disk.SpinUpMaxRetries && j.draw(domainSpinUp, t) < pr {
+		retries++
+	}
+	if retries > 0 {
+		j.met.injected.Inc()
+		j.met.spinupRetries.Add(int64(retries))
+	}
+	return retries, simtime.Seconds(j.plan.Disk.SpinUpBackoffS)
+}
+
+// ServiceDelay implements disk.FaultInjector: a transient latency spike
+// added to one request's service time (counts as busy time).
+func (j *Injector) ServiceDelay(t simtime.Seconds) simtime.Seconds {
+	pr := j.plan.Disk.LatencySpikeProb
+	if pr <= 0 || j.draw(domainService, t) >= pr {
+		return 0
+	}
+	j.met.injected.Inc()
+	j.met.latencySpikes.Inc()
+	return simtime.Seconds(j.plan.Disk.LatencySpikeS)
+}
+
+// BankTransitionFails implements mem.FaultInjector: whether one bank
+// power transition (enable or disable) fails at time t.
+func (j *Injector) BankTransitionFails(bank int, enable bool, t simtime.Seconds) bool {
+	pr := j.plan.Mem.TransitionFailProb
+	if pr <= 0 || j.draw(domainBank, t) >= pr {
+		return false
+	}
+	j.met.injected.Inc()
+	j.met.bankFailures.Inc()
+	return true
+}
+
+// ApplyTrace returns tr with the plan's segment faults applied: dropped
+// (truncated) spans and clock-skewed spans. With no segments it returns
+// tr unchanged (same pointer — the fault-free path copies nothing). The
+// transform preserves time-ordering: within a segment the skew map
+// t' = start + (t-start)·skew is monotone, and its output is clamped to
+// the segment end, below every later request. The result still passes
+// trace.Validate.
+func (j *Injector) ApplyTrace(tr *trace.Trace) *trace.Trace {
+	if len(j.plan.Trace) == 0 || tr == nil {
+		return tr
+	}
+	out := *tr
+	out.Requests = make([]trace.Request, 0, len(tr.Requests))
+	seg := 0
+	for i := range tr.Requests {
+		r := tr.Requests[i]
+		t := float64(r.Time)
+		for seg < len(j.plan.Trace) && j.plan.Trace[seg].EndS > 0 && t >= j.plan.Trace[seg].EndS {
+			seg++
+		}
+		if seg < len(j.plan.Trace) && t >= j.plan.Trace[seg].StartS {
+			s := j.plan.Trace[seg]
+			if s.Drop {
+				continue
+			}
+			if s.ClockSkew > 0 && s.ClockSkew != 1 {
+				t2 := s.StartS + (t-s.StartS)*s.ClockSkew
+				if s.EndS > 0 && t2 > s.EndS {
+					t2 = s.EndS
+				}
+				if end := float64(tr.Duration); s.EndS <= 0 && end > 0 && t2 > end {
+					t2 = end
+				}
+				r.Time = simtime.Seconds(t2)
+			}
+		}
+		out.Requests = append(out.Requests, r)
+	}
+	return &out
+}

@@ -1,0 +1,246 @@
+package fault
+
+import (
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"jointpm/internal/simtime"
+	"jointpm/internal/trace"
+)
+
+func TestPlanValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		plan Plan
+		ok   bool
+	}{
+		{"zero", Plan{}, true},
+		{"full", Plan{
+			Disk:  DiskPlan{SpinUpFailProb: 0.5, SpinUpMaxRetries: 3, SpinUpBackoffS: 1, LatencySpikeProb: 0.1, LatencySpikeS: 0.05},
+			Mem:   MemPlan{TransitionFailProb: 0.2},
+			Trace: []TraceSegment{{StartS: 0, EndS: 10, ClockSkew: 0.5}, {StartS: 20, Drop: true}},
+		}, true},
+		{"prob>1", Plan{Disk: DiskPlan{SpinUpFailProb: 1.5}}, false},
+		{"prob<0", Plan{Mem: MemPlan{TransitionFailProb: -0.1}}, false},
+		{"negative backoff", Plan{Disk: DiskPlan{SpinUpBackoffS: -1}}, false},
+		{"negative retries", Plan{Disk: DiskPlan{SpinUpMaxRetries: -1}}, false},
+		{"empty segment", Plan{Trace: []TraceSegment{{StartS: 5, EndS: 5}}}, false},
+		{"overlapping segments", Plan{Trace: []TraceSegment{{StartS: 0, EndS: 10}, {StartS: 5, EndS: 20}}}, false},
+		{"open-ended not last", Plan{Trace: []TraceSegment{{StartS: 0}, {StartS: 10, EndS: 20}}}, false},
+		{"negative skew", Plan{Trace: []TraceSegment{{StartS: 0, EndS: 10, ClockSkew: -2}}}, false},
+	}
+	for _, c := range cases {
+		err := c.plan.Validate()
+		if c.ok && err != nil {
+			t.Errorf("%s: unexpected error %v", c.name, err)
+		}
+		if !c.ok && err == nil {
+			t.Errorf("%s: error not detected", c.name)
+		}
+	}
+}
+
+// TestLoadCheckedInPlans keeps the repo's fault plans loadable and
+// non-trivial: each must inject spin-up failures and corrupt at least
+// one trace segment, so the robustness runs exercise both the retry
+// path and the fallback ladder.
+func TestLoadCheckedInPlans(t *testing.T) {
+	paths, err := filepath.Glob(filepath.Join("testdata", "faults", "*.json"))
+	if err != nil || len(paths) < 3 {
+		t.Fatalf("want ≥3 checked-in plans, got %d (%v)", len(paths), err)
+	}
+	for _, p := range paths {
+		plan, err := LoadPlan(p)
+		if err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		if plan.IsZero() {
+			t.Errorf("%s: zero plan checked in", p)
+		}
+		if plan.Disk.SpinUpFailProb <= 0 {
+			t.Errorf("%s: no spin-up failures scripted", p)
+		}
+		if len(plan.Trace) == 0 {
+			t.Errorf("%s: no trace segments scripted", p)
+		}
+	}
+}
+
+// TestInjectorDeterminism: two injectors with the same plan replay
+// byte-identical fault sequences; a different seed diverges.
+func TestInjectorDeterminism(t *testing.T) {
+	plan := Plan{
+		Seed: 42,
+		Disk: DiskPlan{SpinUpFailProb: 0.5, SpinUpMaxRetries: 3, SpinUpBackoffS: 1, LatencySpikeProb: 0.3, LatencySpikeS: 0.05},
+		Mem:  MemPlan{TransitionFailProb: 0.3},
+	}
+	type event struct {
+		retries int
+		delay   simtime.Seconds
+		fails   bool
+	}
+	replay := func(p Plan) []event {
+		j := NewInjector(p, 600, nil)
+		var evs []event
+		for i := 0; i < 500; i++ {
+			t := simtime.Seconds(i) * 13 // crosses period boundaries
+			r, _ := j.SpinUpAttempt(t)
+			d := j.ServiceDelay(t)
+			f := j.BankTransitionFails(i%8, i%2 == 0, t)
+			evs = append(evs, event{r, d, f})
+		}
+		return evs
+	}
+	a, b := replay(plan), replay(plan)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("event %d diverged under identical plans: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	plan.Seed = 43
+	c := replay(plan)
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("seed change did not alter the fault sequence")
+	}
+}
+
+// TestSpinUpRetriesBounded: the scripted retry count can never exceed
+// the plan's bound, even at failure probability 1 — the attempt after
+// the last scripted failure succeeds, so the disk cannot wedge.
+func TestSpinUpRetriesBounded(t *testing.T) {
+	j := NewInjector(Plan{Seed: 7, Disk: DiskPlan{SpinUpFailProb: 1, SpinUpMaxRetries: 2, SpinUpBackoffS: 0.5}}, 600, nil)
+	for i := 0; i < 100; i++ {
+		r, backoff := j.SpinUpAttempt(simtime.Seconds(i * 50))
+		if r != 2 {
+			t.Fatalf("attempt %d: %d retries at prob 1 with bound 2", i, r)
+		}
+		if backoff != 0.5 {
+			t.Fatalf("attempt %d: backoff %v", i, backoff)
+		}
+	}
+}
+
+func testTrace(rng *rand.Rand, n int, dur simtime.Seconds) *trace.Trace {
+	const pageSize = 16 * simtime.KB
+	dataPages := int64(1024)
+	times := make([]float64, n)
+	for i := range times {
+		times[i] = rng.Float64() * float64(dur)
+	}
+	for i := 1; i < len(times); i++ {
+		for j := i; j > 0 && times[j] < times[j-1]; j-- {
+			times[j], times[j-1] = times[j-1], times[j]
+		}
+	}
+	reqs := make([]trace.Request, n)
+	for i := range reqs {
+		first := rng.Int63n(dataPages - 4)
+		pages := int32(1 + rng.Intn(4))
+		reqs[i] = trace.Request{
+			Time:      simtime.Seconds(times[i]),
+			FirstPage: first,
+			Pages:     pages,
+			Bytes:     simtime.Bytes(pages) * pageSize,
+		}
+	}
+	return &trace.Trace{
+		PageSize:     pageSize,
+		DataSetBytes: simtime.Bytes(dataPages) * pageSize,
+		DataSetPages: dataPages,
+		Files:        1,
+		Duration:     dur,
+		Requests:     reqs,
+	}
+}
+
+// TestApplyTraceValid: for random traces and random segment plans, the
+// transformed trace stays time-ordered and passes trace.Validate — the
+// property the simulator depends on.
+func TestApplyTraceValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for iter := 0; iter < 200; iter++ {
+		tr := testTrace(rng, 100+rng.Intn(200), 1000)
+		var segs []TraceSegment
+		at := 0.0
+		for at < 900 && len(segs) < 4 {
+			start := at + rng.Float64()*200
+			end := start + 50 + rng.Float64()*200
+			seg := TraceSegment{StartS: start, EndS: end}
+			switch rng.Intn(3) {
+			case 0:
+				seg.Drop = true
+			case 1:
+				seg.ClockSkew = 0.001 + rng.Float64() // compress or expand
+			case 2:
+				seg.ClockSkew = 1 + rng.Float64()*3
+			}
+			segs = append(segs, seg)
+			at = end
+		}
+		plan := Plan{Seed: uint64(iter), Trace: segs}
+		if err := plan.Validate(); err != nil {
+			t.Fatalf("iter %d: generated invalid plan: %v", iter, err)
+		}
+		j := NewInjector(plan, 600, nil)
+		got := j.ApplyTrace(tr)
+		if err := got.Validate(); err != nil {
+			t.Fatalf("iter %d: transformed trace invalid: %v\nplan: %+v", iter, err, plan)
+		}
+		if got == tr {
+			t.Fatalf("iter %d: transform returned the input trace with segments present", iter)
+		}
+		if len(got.Requests) > len(tr.Requests) {
+			t.Fatalf("iter %d: transform grew the trace", iter)
+		}
+	}
+}
+
+// TestApplyTraceNoSegments: the fault-free path copies nothing.
+func TestApplyTraceNoSegments(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	tr := testTrace(rng, 50, 500)
+	j := NewInjector(Plan{Seed: 1, Disk: DiskPlan{SpinUpFailProb: 0.5}}, 600, nil)
+	if got := j.ApplyTrace(tr); got != tr {
+		t.Fatal("no-segment plan copied the trace")
+	}
+}
+
+// TestApplyTraceDropAndClamp pins the two segment semantics: Drop
+// removes exactly the in-segment requests, and a compressing skew maps
+// them toward the segment start without crossing the segment end.
+func TestApplyTraceDropAndClamp(t *testing.T) {
+	tr := &trace.Trace{
+		PageSize: simtime.KB, DataSetBytes: 100 * simtime.KB, DataSetPages: 100,
+		Files: 1, Duration: 100,
+		Requests: []trace.Request{
+			{Time: 5, FirstPage: 0, Pages: 1, Bytes: simtime.KB},
+			{Time: 15, FirstPage: 1, Pages: 1, Bytes: simtime.KB},
+			{Time: 25, FirstPage: 2, Pages: 1, Bytes: simtime.KB},
+			{Time: 45, FirstPage: 3, Pages: 1, Bytes: simtime.KB},
+		},
+	}
+	j := NewInjector(Plan{Trace: []TraceSegment{{StartS: 10, EndS: 30, Drop: true}}}, 600, nil)
+	got := j.ApplyTrace(tr)
+	if len(got.Requests) != 2 || got.Requests[0].Time != 5 || got.Requests[1].Time != 45 {
+		t.Fatalf("drop: got %+v", got.Requests)
+	}
+
+	j = NewInjector(Plan{Trace: []TraceSegment{{StartS: 10, EndS: 30, ClockSkew: 0.1}}}, 600, nil)
+	got = j.ApplyTrace(tr)
+	want := []simtime.Seconds{5, 10.5, 11.5, 45}
+	for i, r := range got.Requests {
+		if r.Time != want[i] {
+			t.Fatalf("skew: request %d at %v, want %v", i, r.Time, want[i])
+		}
+	}
+	if err := got.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

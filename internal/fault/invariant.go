@@ -1,0 +1,193 @@
+// Invariant harness: runs the simulator under a fault plan and asserts
+// the safety properties that must survive any injected failure. Used by
+// the robustness tests and by `pmsim -faults`.
+package fault
+
+import (
+	"fmt"
+	"math"
+
+	"jointpm/internal/obs"
+	"jointpm/internal/sim"
+	"jointpm/internal/simtime"
+)
+
+// Violation is one broken invariant in one run.
+type Violation struct {
+	Seed   uint64
+	Period int    // 1-based; 0 for run-level invariants
+	Name   string // which invariant
+	Detail string
+}
+
+func (v Violation) String() string {
+	where := "run"
+	if v.Period > 0 {
+		where = fmt.Sprintf("period %d", v.Period)
+	}
+	return fmt.Sprintf("seed %d %s: %s: %s", v.Seed, where, v.Name, v.Detail)
+}
+
+// Report is the outcome of one faulted run.
+type Report struct {
+	Seed       uint64
+	Result     *sim.Result
+	Violations []Violation
+
+	// Counters snapshotted from the run's registry: how hard the fault
+	// plan actually hit, and how often the manager degraded.
+	FaultsInjected    int64
+	SpinUpRetries     int64
+	LatencySpikes     int64
+	BankFailures      int64
+	FitDegenerate     int64
+	FallbackDecisions int64
+}
+
+// invariant tolerance for float comparisons.
+const eps = 1e-9
+
+// CheckRun executes cfg under plan with the given seed (overriding
+// plan.Seed) and checks every per-period and run-level invariant. The
+// run uses a private metrics registry so counter snapshots are
+// per-seed; cfg.Metrics and cfg.Trace are not modified (the faulted
+// trace is a transformed copy).
+func CheckRun(cfg sim.Config, plan Plan, seed uint64) (*Report, error) {
+	if err := plan.Validate(); err != nil {
+		return nil, err
+	}
+	plan.Seed = seed
+	reg := obs.NewRegistry()
+	inj := NewInjector(plan, cfg.Period, reg)
+
+	cfg.Metrics = reg
+	cfg.Trace = inj.ApplyTrace(cfg.Trace)
+	cfg.DiskFaults = inj
+	cfg.MemFaults = inj
+
+	res, err := sim.Run(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("fault: seed %d: %w", seed, err)
+	}
+
+	rep := &Report{
+		Seed:              seed,
+		Result:            res,
+		FaultsInjected:    reg.CounterValue("fault.injected"),
+		SpinUpRetries:     reg.CounterValue("fault.spinup_retries"),
+		LatencySpikes:     reg.CounterValue("fault.latency_spikes"),
+		BankFailures:      reg.CounterValue("fault.bank_failures"),
+		FitDegenerate:     reg.CounterValue("core.decide.fit_degenerate"),
+		FallbackDecisions: reg.CounterValue("core.decide.fallback_decisions"),
+	}
+	rep.Violations = checkInvariants(cfg, res, seed)
+	return rep, nil
+}
+
+// CheckSeeds runs CheckRun for every seed and returns the reports in
+// order. It stops early only on simulation errors, never on violations
+// — callers want the full violation list.
+func CheckSeeds(cfg sim.Config, plan Plan, seeds []uint64) ([]*Report, error) {
+	reps := make([]*Report, 0, len(seeds))
+	for _, s := range seeds {
+		r, err := CheckRun(cfg, plan, s)
+		if err != nil {
+			return reps, err
+		}
+		reps = append(reps, r)
+	}
+	return reps, nil
+}
+
+// checkInvariants asserts the safety properties listed in DESIGN.md
+// ("Faults and degradation"). They must hold for every run, faulted or
+// not.
+func checkInvariants(cfg sim.Config, res *sim.Result, seed uint64) []Violation {
+	var vs []Violation
+	add := func(period int, name, format string, a ...any) {
+		vs = append(vs, Violation{Seed: seed, Period: period, Name: name, Detail: fmt.Sprintf(format, a...)})
+	}
+
+	installed := cfg.InstalledMem
+	if installed <= 0 {
+		installed = 128 * simtime.GB
+	}
+	bank := cfg.BankSize
+	if bank <= 0 {
+		bank = 16 * simtime.MB
+	}
+	totalBanks := int(installed / bank)
+	utilCap := 0.10
+	if cfg.Joint != nil && cfg.Joint.UtilCap > 0 {
+		utilCap = cfg.Joint.UtilCap
+	}
+
+	// Run-level: every energy component finite and non-negative.
+	for _, c := range []struct {
+		name string
+		v    simtime.Joules
+	}{
+		{"disk energy", res.DiskEnergy.Total()},
+		{"mem energy", res.MemEnergy.Total()},
+		{"total energy", res.TotalEnergy()},
+	} {
+		if !finite(float64(c.v)) || float64(c.v) < -eps {
+			add(0, "energy-finite", "%s = %v", c.name, c.v)
+		}
+	}
+	if !finite(res.Utilization) || res.Utilization < -eps {
+		add(0, "util-finite", "utilization = %g", res.Utilization)
+	}
+
+	for i, p := range res.Periods {
+		n := i + 1
+		// Cache/memory size stays within [1, total] banks: a failed
+		// enable truncates, never overshoots, and bank 0 is never
+		// disabled.
+		if p.Banks < 1 || p.Banks > totalBanks {
+			add(n, "banks-range", "banks %d outside [1,%d]", p.Banks, totalBanks)
+		}
+		if !finite(float64(p.Energy)) || float64(p.Energy) < -eps {
+			add(n, "energy-finite", "period energy %v", p.Energy)
+		}
+		if !finite(p.Utilization) || p.Utilization < -eps {
+			add(n, "util-finite", "period utilization %g", p.Utilization)
+		}
+		// Disk never wedged down: the timeout is positive or +Inf
+		// (spin-down disabled), never NaN or non-positive.
+		if math.IsNaN(float64(p.Timeout)) || p.Timeout <= 0 {
+			add(n, "timeout-sane", "timeout %v", p.Timeout)
+		}
+		d := p.Decision
+		if d == nil {
+			continue
+		}
+		if d.Banks < 1 || d.Banks > totalBanks {
+			add(n, "decision-banks-range", "decision banks %d outside [1,%d]", d.Banks, totalBanks)
+		}
+		if math.IsNaN(float64(d.Timeout)) || d.Timeout <= 0 {
+			add(n, "decision-timeout-sane", "decision timeout %v", d.Timeout)
+		}
+		if d.Fallback {
+			continue // the search output below is exactly what was distrusted
+		}
+		// A trusted decision must be feasible under the utilization cap
+		// (or be the empty-period default, which evaluates nothing), with
+		// finite pricing, and must respect the eq. 6 delay-cap floor.
+		if d.Evaluated > 0 {
+			c := d.Chosen
+			if c.Feasible && c.Utilization > utilCap+eps {
+				add(n, "decision-util-cap", "feasible winner utilization %g > cap %g", c.Utilization, utilCap)
+			}
+			if math.IsNaN(float64(c.TotalPower)) || math.IsInf(float64(c.TotalPower), 0) {
+				add(n, "decision-power-finite", "winner power %v", c.TotalPower)
+			}
+			if c.Feasible && d.Timeout < c.TimeoutFloor-eps {
+				add(n, "decision-delay-floor", "timeout %v below eq.6 floor %v", d.Timeout, c.TimeoutFloor)
+			}
+		}
+	}
+	return vs
+}
+
+func finite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }

@@ -1,0 +1,181 @@
+package fault
+
+import (
+	"math/rand"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"jointpm/internal/policy"
+	"jointpm/internal/sim"
+	"jointpm/internal/simtime"
+	"jointpm/internal/workload"
+)
+
+// jointWorkload is the low-rate server trace the robustness runs use:
+// long idle gaps guarantee spin-downs (so spin-up faults actually fire)
+// while fifteen 120 s adaptation periods exercise the manager.
+func jointWorkload(t testing.TB) *sim.Config {
+	t.Helper()
+	tr, err := workload.Generate(workload.Config{
+		DataSetBytes: 64 * simtime.MB,
+		PageSize:     64 * simtime.KB,
+		Rate:         0.2 * float64(simtime.MB),
+		Popularity:   0.1,
+		Duration:     1800,
+		Classes:      workload.SPECWeb99Classes(64),
+		Seed:         7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &sim.Config{
+		Trace:        tr,
+		Method:       policy.Joint(128 * simtime.MB),
+		InstalledMem: 128 * simtime.MB,
+		BankSize:     simtime.MB,
+		Period:       120,
+	}
+}
+
+// TestCheckedInPlansInvariants is the robustness acceptance gate: every
+// checked-in fault plan, replayed under many seeds, must finish with
+// zero invariant violations — and must actually have hurt (retried
+// spin-ups, degraded decisions), or the plan has rotted into a no-op.
+func TestCheckedInPlansInvariants(t *testing.T) {
+	paths, err := filepath.Glob(filepath.Join("testdata", "faults", "*.json"))
+	if err != nil || len(paths) == 0 {
+		t.Fatalf("no checked-in plans: %v", err)
+	}
+	nSeeds := 100
+	if testing.Short() {
+		nSeeds = 10
+	}
+	seeds := make([]uint64, nSeeds)
+	for i := range seeds {
+		seeds[i] = uint64(i + 1)
+	}
+	cfg := jointWorkload(t)
+	for _, p := range paths {
+		p := p
+		t.Run(filepath.Base(p), func(t *testing.T) {
+			plan, err := LoadPlan(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			reps, err := CheckSeeds(*cfg, plan, seeds)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var injected, retries, fallbacks, degenerate int64
+			for _, r := range reps {
+				for _, v := range r.Violations {
+					t.Errorf("violation: %s", v)
+				}
+				injected += r.FaultsInjected
+				retries += r.SpinUpRetries
+				fallbacks += r.FallbackDecisions
+				degenerate += r.FitDegenerate
+			}
+			if injected == 0 {
+				t.Error("plan injected no faults across all seeds")
+			}
+			if retries == 0 {
+				t.Error("no spin-up retries: the spin-up fault path never fired")
+			}
+			if fallbacks == 0 {
+				t.Error("no fallback decisions: the degradation ladder never fired")
+			}
+			if degenerate == 0 {
+				t.Error("no degenerate fits recorded")
+			}
+			t.Logf("%d seeds: %d faults, %d spin-up retries, %d degenerate fits, %d fallbacks",
+				nSeeds, injected, retries, degenerate, fallbacks)
+		})
+	}
+}
+
+// TestZeroPlanDifferential proves the byte-identity claim end to end:
+// wiring a zero-probability injector (and its no-op trace transform)
+// into the fused engine produces results reflect.DeepEqual to running
+// with no injector at all, for every method in the Fig. 7 comparison
+// set.
+func TestZeroPlanDifferential(t *testing.T) {
+	cfg := jointWorkload(t)
+	fmSizes := []simtime.Bytes{8 * simtime.MB, 16 * simtime.MB, 32 * simtime.MB, 64 * simtime.MB, 128 * simtime.MB}
+	for _, m := range policy.Comparison(128*simtime.MB, fmSizes) {
+		base := *cfg
+		base.Method = m
+		plain, err := sim.Run(base)
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name(), err)
+		}
+
+		var zero Plan
+		inj := NewInjector(zero, base.Period, nil)
+		faulted := base
+		faulted.Trace = inj.ApplyTrace(base.Trace)
+		faulted.DiskFaults = inj
+		faulted.MemFaults = inj
+		got, err := sim.Run(faulted)
+		if err != nil {
+			t.Fatalf("%s faulted: %v", m.Name(), err)
+		}
+		if !reflect.DeepEqual(plain, got) {
+			t.Errorf("%s: zero fault plan changed the result\nplain:   %+v\nfaulted: %+v", m.Name(), plain, got)
+		}
+	}
+}
+
+// TestPropertyRandomPlans is the testing/quick half: random traces and
+// random fault plans, and every safety invariant — feasible decisions
+// under the caps, finite non-negative energies, sane cache sizes — must
+// hold in every run.
+func TestPropertyRandomPlans(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := testTrace(rng, 100+rng.Intn(400), 1000+simtime.Seconds(rng.Intn(1000)))
+		plan := Plan{
+			Disk: DiskPlan{
+				SpinUpFailProb:   rng.Float64() * 0.6,
+				SpinUpMaxRetries: 1 + rng.Intn(4),
+				SpinUpBackoffS:   rng.Float64() * 3,
+				LatencySpikeProb: rng.Float64() * 0.3,
+				LatencySpikeS:    rng.Float64() * 0.2,
+			},
+			Mem: MemPlan{TransitionFailProb: rng.Float64() * 0.4},
+		}
+		if rng.Intn(2) == 0 {
+			start := rng.Float64() * 500
+			plan.Trace = []TraceSegment{{
+				StartS:    start,
+				EndS:      start + 100 + rng.Float64()*300,
+				ClockSkew: 0.001 + rng.Float64()*0.1,
+			}}
+		}
+		cfg := sim.Config{
+			Trace:        tr,
+			Method:       policy.Joint(32 * simtime.MB),
+			InstalledMem: 32 * simtime.MB,
+			BankSize:     simtime.MB,
+			Period:       120,
+		}
+		rep, err := CheckRun(cfg, plan, uint64(seed))
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		for _, v := range rep.Violations {
+			t.Logf("seed %d: %s", seed, v)
+		}
+		return len(rep.Violations) == 0
+	}
+	cfg := &quick.Config{MaxCount: 30}
+	if testing.Short() {
+		cfg.MaxCount = 5
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

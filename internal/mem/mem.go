@@ -116,6 +116,17 @@ func (e Energy) Sub(o Energy) Energy {
 	return Energy{Static: e.Static - o.Static, Dynamic: e.Dynamic - o.Dynamic, Transition: e.Transition - o.Transition}
 }
 
+// FaultInjector injects deterministic bank power-transition failures
+// (see internal/fault). A nil injector is the fault-free memory. It is
+// consulted once per attempted enable/disable inside SetEnabledBanks;
+// a failed transition leaves the bank in its previous state (a bank
+// that refused to disable keeps consuming nap power; a bank that
+// failed to enable stays dark and the caller must not place data in
+// it).
+type FaultInjector interface {
+	BankTransitionFails(bank int, enable bool, t simtime.Seconds) bool
+}
+
 type bankState struct {
 	enabled    bool
 	lastTouch  simtime.Seconds // when the bank was last accessed
@@ -130,6 +141,7 @@ type Memory struct {
 	policy BankPolicy
 	banks  []bankState
 	energy Energy
+	faults FaultInjector
 }
 
 // New creates a memory with the given number of banks, all enabled and
@@ -147,6 +159,10 @@ func New(spec Spec, banks int, policy BankPolicy) *Memory {
 
 // Spec returns the memory parameters.
 func (m *Memory) Spec() Spec { return m.spec }
+
+// SetFaults attaches a fault injector (nil detaches it and restores the
+// fault-free memory).
+func (m *Memory) SetFaults(f FaultInjector) { m.faults = f }
 
 // Banks returns the number of banks.
 func (m *Memory) Banks() int { return len(m.banks) }
@@ -233,7 +249,14 @@ func (m *Memory) AddDynamic(b simtime.Bytes) {
 // the resize primitive used by the fixed-size and joint methods.
 // Disabled banks consume nothing and lose data (the caller invalidates
 // the cache accordingly).
-func (m *Memory) SetEnabledBanks(t simtime.Seconds, n int) {
+//
+// It returns the usable contiguous enabled prefix that was actually
+// achieved. Without a fault injector this always equals the clamped n;
+// with one, a bank that fails to enable truncates the prefix there (the
+// caller must size the cache to the return value, never to its request),
+// while a bank that fails to disable keeps burning nap power outside the
+// prefix — wasteful but harmless, and retried at the next resize.
+func (m *Memory) SetEnabledBanks(t simtime.Seconds, n int) int {
 	if n < 1 {
 		n = 1
 	}
@@ -246,6 +269,9 @@ func (m *Memory) SetEnabledBanks(t simtime.Seconds, n int) {
 		if s.enabled == want {
 			continue
 		}
+		if m.faults != nil && m.faults.BankTransitionFails(b, want, t) {
+			continue // transition failed: the bank keeps its previous state
+		}
 		m.settle(b, t)
 		s.enabled = want
 		if want {
@@ -255,6 +281,14 @@ func (m *Memory) SetEnabledBanks(t simtime.Seconds, n int) {
 			s.deadByIdle = false
 		}
 	}
+	achieved := 0
+	for achieved < len(m.banks) && m.banks[achieved].enabled {
+		achieved++
+	}
+	if achieved > n {
+		achieved = n // banks that refused to disable are not usable space
+	}
+	return achieved
 }
 
 // IdleDisabledAt reports whether bank b has crossed the disable timeout

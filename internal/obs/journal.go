@@ -76,7 +76,14 @@ type DecisionRecord struct {
 	Chosen         CandidateSummary   `json:"chosen"`
 	Evaluated      int                `json:"evaluated"`
 	HysteresisHold bool               `json:"hysteresis_hold,omitempty"`
-	RunnersUp      []CandidateSummary `json:"runners_up,omitempty"`
+	// Fallback marks a degraded decision: the search winner was
+	// distrusted (degenerate fit or non-finite pricing) and the manager
+	// held its previous configuration. Chosen carries the distrusted
+	// winner; FallbackBanks/FallbackTimeoutS carry what was applied.
+	Fallback         bool               `json:"fallback,omitempty"`
+	FallbackBanks    int                `json:"fallback_banks,omitempty"`
+	FallbackTimeoutS Float              `json:"fallback_timeout_s,omitempty"`
+	RunnersUp        []CandidateSummary `json:"runners_up,omitempty"`
 }
 
 // DefaultSinkDepth is the channel depth a sink is created with when the

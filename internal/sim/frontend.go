@@ -25,6 +25,12 @@ func Record(c Config) (*Recording, error) {
 	if cfg.Zoned != nil {
 		return nil, fmt.Errorf("sim: the shared cache front-end does not support the zoned disk model")
 	}
+	if cfg.DiskFaults != nil || cfg.MemFaults != nil {
+		// A recording is replayed against several disk policies; injector
+		// op counters would interleave across replays and break replay
+		// determinism. Fault runs use the fused engine (sim.Run).
+		return nil, fmt.Errorf("sim: the shared cache front-end does not support fault injection")
+	}
 	key, ok := SharedCacheKey(cfg.Method, cfg.InstalledMem)
 	if !ok {
 		return nil, fmt.Errorf("sim: method %s is not front-end shareable", cfg.Method.Name())

@@ -54,6 +54,14 @@ type Config struct {
 	// are taken from Zoned.Spec).
 	Zoned *disk.ZonedSpec
 
+	// DiskFaults and MemFaults inject scripted failures into the disk
+	// and memory models (see internal/fault); nil disables injection.
+	// The engine only ever nil-checks these, so the fault-free path is
+	// byte-identical with or without the fields present. Injectors keep
+	// per-run op counters and must not be shared across concurrent runs.
+	DiskFaults disk.FaultInjector
+	MemFaults  mem.FaultInjector
+
 	// Metrics receives run telemetry from the engine, the disk model,
 	// and (for the joint method) the power manager; nil disables
 	// collection. Metric names are catalogued in DESIGN.md.
@@ -205,6 +213,7 @@ type engine struct {
 
 	adaptive *policy.AdaptiveTimeout
 	manager  *core.Manager
+	curBanks int // banks actually enabled (≠ decision under fault injection)
 
 	zoned    *disk.ZonedDisk
 	lbaScale float64
@@ -258,6 +267,12 @@ func newEngine(cfg Config) (*engine, error) {
 		e.disk = disk.New(cfg.DiskSpec, cfg.LongLatency)
 	}
 	e.mem = mem.New(cfg.MemSpec, totalBanks, cfg.Method.Mem.BankPolicy())
+	if cfg.DiskFaults != nil {
+		e.disk.SetFaults(cfg.DiskFaults)
+	}
+	if cfg.MemFaults != nil {
+		e.mem.SetFaults(cfg.MemFaults)
+	}
 	e.disk.SetMetrics(diskMetrics(cfg.Metrics))
 	e.disk.SetIdleRecorder(func(gap simtime.Seconds) {
 		e.res.OracleDiskPM += cfg.DiskSpec.OracleGapEnergy(gap)
@@ -282,8 +297,11 @@ func newEngine(cfg Config) (*engine, error) {
 		if banks < 1 {
 			banks = 1
 		}
-		e.cache.Resize(int64(banks) * pagesPerBank)
-		e.mem.SetEnabledBanks(0, banks)
+		// The cache sizes to whatever prefix the memory model actually
+		// achieved — with fault injection a bank enable can fail, and the
+		// cache must not hold pages in dead banks.
+		achieved := e.mem.SetEnabledBanks(0, banks)
+		e.cache.Resize(int64(achieved) * pagesPerBank)
 	}
 
 	if cfg.Method.IsJoint() {
@@ -304,6 +322,7 @@ func newEngine(cfg Config) (*engine, error) {
 			return nil, err
 		}
 		e.manager = mgr
+		e.curBanks = totalBanks
 		e.stack = lrusim.NewStackSim(int(installedFrames))
 		e.logBuf = depthLogs.Get().(*[]lrusim.DepthRecord)
 		e.periodLog = (*e.logBuf)[:0]
@@ -554,13 +573,21 @@ func (e *engine) closePeriod(t simtime.Seconds) {
 			CoalesceFactor: coalesce,
 			PeriodStart:    stat.Start,
 			PeriodEnd:      stat.End,
-			CurrentBanks:   e.manager.Last().Banks,
+			CurrentBanks:   e.curBanks,
 		})
 		stat.Decision = &dec
-		e.obsm.resizeEvicted.Add(e.cache.Resize(dec.Pages))
-		e.mem.SetEnabledBanks(t, dec.Banks)
+		// Apply the memory half first: with fault injection a bank enable
+		// can fail, truncating the usable contiguous prefix, and the cache
+		// must size to what the memory model actually achieved.
+		achieved := e.mem.SetEnabledBanks(t, dec.Banks)
+		pages := dec.Pages
+		if achieved != dec.Banks {
+			pages = int64(achieved) * e.pagesPerBank
+		}
+		e.obsm.resizeEvicted.Add(e.cache.Resize(pages))
 		e.disk.SetTimeout(t, dec.Timeout)
-		stat.Banks = dec.Banks
+		e.curBanks = achieved
+		stat.Banks = achieved
 		stat.Timeout = dec.Timeout
 	}
 	e.obsm.periodBanks.Set(float64(stat.Banks))
