@@ -22,6 +22,7 @@ import (
 	"jointpm/internal/experiments"
 	"jointpm/internal/obs"
 	"jointpm/internal/profiling"
+	"jointpm/internal/shutdown"
 	"jointpm/internal/simtime"
 )
 
@@ -80,6 +81,18 @@ func run() (retErr error) {
 		return fmt.Errorf("parsing -scale: %w", err)
 	}
 
+	// Cleanups go on a shutdown stack (not plain defers) so an interrupt
+	// mid-experiment or mid-linger still flushes the journal and the
+	// profiles before exiting 128+sig.
+	shut := shutdown.NewStack("jointpm")
+	defer func() {
+		if cerr := shut.Run(); cerr != nil && retErr == nil {
+			retErr = cerr
+		}
+	}()
+	stopSignals := shut.HandleSignals()
+	defer stopSignals()
+
 	// Observability: the registry and journal sink attach to the scale, so
 	// every run the experiments launch shares them. The sink is flushed on
 	// every exit path, success or failure, like the profile flush below.
@@ -91,7 +104,7 @@ func run() (retErr error) {
 			return fmt.Errorf("serving -metrics-addr %s: %w", *metricsAddr, err)
 		}
 		fmt.Fprintf(os.Stderr, "jointpm: metrics on http://%s/metrics\n", addr)
-		defer srv.Close()
+		shut.Defer(srv.Close)
 	}
 	if *decTrace != "" {
 		sink, err := obs.NewFileSink(*decTrace, obs.DefaultSinkDepth)
@@ -99,22 +112,24 @@ func run() (retErr error) {
 			return fmt.Errorf("opening -decision-trace: %w", err)
 		}
 		s.DecisionTrace = sink
-		defer func() {
-			if cerr := sink.Close(); cerr != nil && retErr == nil {
-				retErr = fmt.Errorf("flushing -decision-trace %s: %w", *decTrace, cerr)
+		shut.Defer(func() error {
+			if cerr := sink.Close(); cerr != nil {
+				return fmt.Errorf("flushing -decision-trace %s: %w", *decTrace, cerr)
 			}
-		}()
+			return nil
+		})
 	}
 
 	stopProfiles, err := profiling.Start(*cpuprofile, *memprofile)
 	if err != nil {
 		return fmt.Errorf("starting profiles: %w", err)
 	}
-	defer func() {
-		if perr := stopProfiles(); perr != nil && retErr == nil {
-			retErr = fmt.Errorf("flushing profiles: %w", perr)
+	shut.Defer(func() error {
+		if perr := stopProfiles(); perr != nil {
+			return fmt.Errorf("flushing profiles: %w", perr)
 		}
-	}()
+		return nil
+	})
 	defer func() {
 		if *metricsAddr != "" && *metricsLinger > 0 {
 			fmt.Fprintf(os.Stderr, "jointpm: lingering %v for scrapes\n", *metricsLinger)

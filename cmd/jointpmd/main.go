@@ -1,0 +1,330 @@
+// Command jointpmd is the long-running daemon form of the joint power
+// manager: it ingests disk access streams incrementally — the trace
+// codecs' stream form on stdin, or per-connection on a unix/TCP
+// socket — and emits one "decision" line per closed adaptation period
+// for each disk it manages.
+//
+// With -snapshot the daemon checkpoints every shard's controller state
+// (extended-LRU stack, partial period log, manager history, counters)
+// every -snapshot-every periods and on graceful shutdown. A restarted
+// daemon restores the checkpoint and, because access streams replay
+// from their origin, skips the requests it has already consumed: its
+// first post-restart decision is exactly what an uninterrupted run
+// would have decided. See DESIGN.md for the snapshot format.
+//
+// Usage:
+//
+//	jointpmd -mem 128MB -bank 1MB -period 120 -snapshot d.snap < trace.bin
+//	jointpmd -listen unix:/run/jointpmd.sock -snapshot d.snap
+//	jointpmd -listen 127.0.0.1:7070 -metrics-addr 127.0.0.1:7071
+//
+// On a socket, each connection opens one stream: a "disk <name>\n"
+// preamble, then a binary or text trace. Stdin mode serves the single
+// disk named by -disk.
+package main
+
+import (
+	"bufio"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"jointpm/internal/fault"
+	"jointpm/internal/obs"
+	"jointpm/internal/serve"
+	"jointpm/internal/shutdown"
+	"jointpm/internal/simtime"
+	"jointpm/internal/trace"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "jointpmd:", err)
+		os.Exit(1)
+	}
+}
+
+func run() (retErr error) {
+	var (
+		diskName      = flag.String("disk", "disk0", "disk name for the stdin stream")
+		listen        = flag.String("listen", "", "accept streams on this address (unix:/path or host:port) instead of stdin")
+		memTotal      = flag.String("mem", "128GB", "installed physical memory")
+		bank          = flag.String("bank", "16MB", "memory bank size")
+		page          = flag.String("page", "64KB", "page size")
+		period        = flag.Float64("period", 600, "adaptation period in stream seconds")
+		warmup        = flag.Int("warmup-periods", 0, "hold the safe default for the first N periods")
+		snapshot      = flag.String("snapshot", "", "checkpoint file enabling warm restart")
+		snapshotEvery = flag.Int64("snapshot-every", 5, "checkpoint every N closed periods (0: only on shutdown)")
+		tick          = flag.Duration("tick", 0, "advance idle disks' stream clocks this often in wall time (0: periods close from stream time only)")
+		faultsPath    = flag.String("faults", "", "fault plan JSON (supports daemon.crash_at_period)")
+		metricsAddr   = flag.String("metrics-addr", "", "serve /metrics and /debug/vars on this address")
+		decTrace      = flag.String("decision-trace", "", "append one JSON line per joint decision to this file")
+	)
+	flag.Parse()
+
+	installed, err := simtime.ParseBytes(*memTotal)
+	if err != nil {
+		return fmt.Errorf("parsing -mem: %w", err)
+	}
+	bankSize, err := simtime.ParseBytes(*bank)
+	if err != nil {
+		return fmt.Errorf("parsing -bank: %w", err)
+	}
+	pageSize, err := simtime.ParseBytes(*page)
+	if err != nil {
+		return fmt.Errorf("parsing -page: %w", err)
+	}
+
+	// Cleanups go on a shutdown stack so SIGINT/SIGTERM still writes the
+	// final checkpoint and flushes the journal before exiting 128+sig.
+	// Registration order makes the LIFO run: checkpoint, then journal
+	// flush, then metrics teardown.
+	shut := shutdown.NewStack("jointpmd")
+	defer func() {
+		if cerr := shut.Run(); cerr != nil && retErr == nil {
+			retErr = cerr
+		}
+	}()
+	stopSignals := shut.HandleSignals()
+	defer stopSignals()
+
+	cfg := serve.Config{
+		PageSize:      pageSize,
+		BankSize:      bankSize,
+		InstalledMem:  installed,
+		Period:        simtime.Seconds(*period),
+		WarmupPeriods: *warmup,
+		SnapshotPath:  *snapshot,
+		SnapshotEvery: *snapshotEvery,
+	}
+	if *metricsAddr != "" {
+		cfg.Metrics = obs.NewRegistry()
+		obs.Publish("jointpmd", cfg.Metrics)
+		msrv, addr, err := obs.Serve(*metricsAddr, cfg.Metrics)
+		if err != nil {
+			return fmt.Errorf("serving -metrics-addr %s: %w", *metricsAddr, err)
+		}
+		fmt.Fprintf(os.Stderr, "jointpmd: metrics on http://%s/metrics\n", addr)
+		shut.Defer(msrv.Close)
+	}
+	if *decTrace != "" {
+		sink, err := obs.NewFileSink(*decTrace, obs.DefaultSinkDepth)
+		if err != nil {
+			return fmt.Errorf("opening -decision-trace: %w", err)
+		}
+		cfg.DecisionTrace = sink
+		shut.Defer(func() error {
+			if cerr := sink.Close(); cerr != nil {
+				return fmt.Errorf("flushing -decision-trace %s: %w", *decTrace, cerr)
+			}
+			return nil
+		})
+	}
+	if *faultsPath != "" {
+		plan, err := fault.LoadPlan(*faultsPath)
+		if err != nil {
+			return fmt.Errorf("loading -faults: %w", err)
+		}
+		cfg.Injector = fault.NewInjector(plan, cfg.Period, cfg.Metrics)
+	}
+
+	var outMu sync.Mutex
+	cfg.OnDecision = func(d serve.Decision) {
+		outMu.Lock()
+		defer outMu.Unlock()
+		fmt.Printf("decision disk=%s period=%d banks=%d pages=%d timeout=%s fallback=%t\n",
+			d.Disk, d.Period, d.Decision.Banks, d.Decision.Pages,
+			formatTimeout(d.Decision.Timeout), d.Decision.Fallback)
+	}
+
+	srv, err := serve.New(cfg)
+	if err != nil {
+		return err
+	}
+	shut.Defer(srv.Close)
+
+	names, err := srv.Restore()
+	if err != nil {
+		return err
+	}
+	for _, name := range names {
+		sh, err := srv.Shard(name)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "jointpmd: restored disk=%s periods=%d consumed=%d\n",
+			name, sh.Periods(), sh.Consumed())
+	}
+
+	if *listen != "" {
+		return serveListener(srv, shut, *listen, *tick)
+	}
+	sh, err := srv.Shard(*diskName)
+	if err != nil {
+		return err
+	}
+	st, err := trace.SniffStream(bufio.NewReader(os.Stdin))
+	if err != nil {
+		return fmt.Errorf("reading stdin: %w", err)
+	}
+	return streamShard(srv, sh, st, *tick)
+}
+
+func formatTimeout(t simtime.Seconds) string {
+	if math.IsInf(float64(t), 1) {
+		return "inf"
+	}
+	return fmt.Sprintf("%.3fs", float64(t))
+}
+
+// streamShard pumps one stream into a shard. Streams replay from their
+// origin, so a restored shard's already-consumed prefix is skipped —
+// the warm-restart contract. The wall ticker keeps closing periods
+// through idle stretches; stream lag is the wall clock's lead over the
+// newest ingested request's stream time.
+func streamShard(srv *serve.Server, sh *serve.Shard, st trace.Stream, tick time.Duration) error {
+	skip := sh.Consumed()
+	if skip > 0 {
+		fmt.Fprintf(os.Stderr, "jointpmd: disk=%s skipping %d replayed requests\n", sh.Name(), skip)
+	}
+	clock := &idleClock{sh: sh}
+	if tick > 0 {
+		stop := clock.run(tick)
+		defer stop()
+	}
+	start := time.Now()
+	var n int64
+	for {
+		req, err := st.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return fmt.Errorf("disk %s: stream: %w", sh.Name(), err)
+		}
+		n++
+		if n <= skip {
+			continue
+		}
+		if err := sh.Ingest(req); err != nil {
+			return fmt.Errorf("disk %s: %w", sh.Name(), err)
+		}
+		clock.advanceTo(req.Time)
+		srv.ObserveLag(time.Since(start) - time.Duration(float64(req.Time)*float64(time.Second)))
+	}
+	if d := st.Header().Duration; d > 0 {
+		if err := sh.FinishTo(d); err != nil {
+			return fmt.Errorf("disk %s: %w", sh.Name(), err)
+		}
+	}
+	return nil
+}
+
+// idleClock maps wall ticks onto a shard's stream clock so decisions
+// keep flowing when the stream goes quiet: each tick advances the
+// clock by the tick's wall length and closes any crossed periods.
+// Traffic snaps the clock forward to the newest request time.
+type idleClock struct {
+	sh *serve.Shard
+
+	mu sync.Mutex
+	t  simtime.Seconds
+}
+
+func (c *idleClock) advanceTo(t simtime.Seconds) {
+	c.mu.Lock()
+	if t > c.t {
+		c.t = t
+	}
+	c.mu.Unlock()
+}
+
+func (c *idleClock) run(tick time.Duration) (stop func()) {
+	done := make(chan struct{})
+	ticker := time.NewTicker(tick)
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			case <-ticker.C:
+				c.mu.Lock()
+				c.t += simtime.Seconds(tick.Seconds())
+				t := c.t
+				c.mu.Unlock()
+				if err := c.sh.FinishTo(t); err != nil {
+					fmt.Fprintf(os.Stderr, "jointpmd: disk %s: tick: %v\n", c.sh.Name(), err)
+					return
+				}
+			}
+		}
+	}()
+	return func() {
+		ticker.Stop()
+		close(done)
+	}
+}
+
+// serveListener accepts one stream per connection: a "disk <name>\n"
+// preamble, then a binary or text trace.
+func serveListener(srv *serve.Server, shut *shutdown.Stack, addr string, tick time.Duration) error {
+	network, address := "tcp", addr
+	if path, ok := strings.CutPrefix(addr, "unix:"); ok {
+		network, address = "unix", path
+		// A previous unclean exit can leave the socket file behind.
+		os.Remove(path)
+	}
+	ln, err := net.Listen(network, address)
+	if err != nil {
+		return fmt.Errorf("listening on %s: %w", addr, err)
+	}
+	shut.Defer(ln.Close)
+	fmt.Fprintf(os.Stderr, "jointpmd: listening on %s\n", ln.Addr())
+	var wg sync.WaitGroup
+	defer wg.Wait()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer conn.Close()
+			if err := handleConn(srv, conn, tick); err != nil {
+				fmt.Fprintf(os.Stderr, "jointpmd: %s: %v\n", conn.RemoteAddr(), err)
+			}
+		}()
+	}
+}
+
+func handleConn(srv *serve.Server, conn net.Conn, tick time.Duration) error {
+	rd := bufio.NewReader(conn)
+	line, err := rd.ReadString('\n')
+	if err != nil {
+		return fmt.Errorf("reading preamble: %w", err)
+	}
+	name, ok := strings.CutPrefix(strings.TrimSpace(line), "disk ")
+	if !ok || name == "" {
+		return fmt.Errorf("bad preamble %q, want \"disk <name>\"", strings.TrimSpace(line))
+	}
+	sh, err := srv.Shard(name)
+	if err != nil {
+		return err
+	}
+	st, err := trace.SniffStream(rd)
+	if err != nil {
+		return fmt.Errorf("disk %s: %w", name, err)
+	}
+	return streamShard(srv, sh, st, tick)
+}

@@ -1,0 +1,292 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"jointpm/internal/simtime"
+	"jointpm/internal/trace"
+	"jointpm/internal/workload"
+)
+
+// TestMain lets this test binary impersonate jointpmd: with the marker
+// env var set it runs main() on its arguments instead of the suite, so
+// the daemon tests re-exec themselves rather than building a binary.
+func TestMain(m *testing.M) {
+	if os.Getenv("JOINTPMD_BE_DAEMON") == "1" {
+		main()
+		return
+	}
+	os.Exit(m.Run())
+}
+
+func writeTestTrace(t *testing.T, path string) {
+	t.Helper()
+	tr, err := workload.Generate(workload.Config{
+		DataSetBytes: 64 * simtime.MB,
+		PageSize:     64 * simtime.KB,
+		Rate:         0.5 * float64(simtime.MB),
+		Popularity:   0.1,
+		Duration:     1800,
+		Classes:      workload.SPECWeb99Classes(64),
+		Seed:         7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := trace.WriteBinary(f, tr); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func daemonArgs(snap string) []string {
+	args := []string{
+		"-disk", "d0", "-mem", "128MB", "-bank", "1MB", "-period", "120",
+	}
+	if snap != "" {
+		args = append(args, "-snapshot", snap, "-snapshot-every", "2")
+	}
+	return args
+}
+
+func decisionLines(out string) []string {
+	var lines []string
+	for _, l := range strings.Split(out, "\n") {
+		if strings.HasPrefix(l, "decision ") {
+			lines = append(lines, l)
+		}
+	}
+	return lines
+}
+
+// TestWarmResumeAfterSigterm is the daemon smoke: stream part of a
+// trace into jointpmd, SIGTERM it mid-stream, restart it on the full
+// stream, and require the concatenated decision lines to be exactly the
+// uninterrupted run's.
+func TestWarmResumeAfterSigterm(t *testing.T) {
+	if testing.Short() {
+		t.Skip("re-execs daemon runs")
+	}
+	dir := t.TempDir()
+	trPath := filepath.Join(dir, "w.trc")
+	snap := filepath.Join(dir, "d.snap")
+	writeTestTrace(t, trPath)
+	traceBytes, err := os.ReadFile(trPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Reference: one uninterrupted daemon over the whole stream.
+	ref := exec.Command(os.Args[0], daemonArgs("")...)
+	ref.Env = append(os.Environ(), "JOINTPMD_BE_DAEMON=1")
+	ref.Stdin = bytes.NewReader(traceBytes)
+	refOut, err := ref.Output()
+	if err != nil {
+		t.Fatalf("reference run: %v", err)
+	}
+	want := decisionLines(string(refOut))
+	if len(want) < 10 {
+		t.Fatalf("reference run printed %d decisions", len(want))
+	}
+
+	// First life: feed ~60%% of the raw stream, hold the pipe open so
+	// the daemon blocks mid-read, then SIGTERM it. The handler runs the
+	// shutdown stack, which writes the checkpoint and exits 143.
+	cmd := exec.Command(os.Args[0], daemonArgs(snap)...)
+	cmd.Env = append(os.Environ(), "JOINTPMD_BE_DAEMON=1")
+	stdin, err := cmd.StdinPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill()
+
+	var mu sync.Mutex
+	var got1 []string
+	scanDone := make(chan struct{})
+	go func() {
+		defer close(scanDone)
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			if l := sc.Text(); strings.HasPrefix(l, "decision ") {
+				mu.Lock()
+				got1 = append(got1, l)
+				mu.Unlock()
+			}
+		}
+	}()
+	if _, err := stdin.Write(traceBytes[:len(traceBytes)*6/10]); err != nil {
+		t.Fatal(err)
+	}
+
+	// Wait until the daemon has demonstrably made progress, so the
+	// restart genuinely resumes mid-run rather than from scratch.
+	deadline := time.Now().Add(time.Minute)
+	for {
+		mu.Lock()
+		n := len(got1)
+		mu.Unlock()
+		if n >= 3 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon closed only %d periods on the partial stream", n)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	err = cmd.Wait()
+	var exitErr *exec.ExitError
+	if !errors.As(err, &exitErr) || exitErr.ExitCode() != 143 {
+		t.Fatalf("Wait = %v, want exit 143 (128+SIGTERM)", err)
+	}
+	<-scanDone
+	stdin.Close()
+
+	// Second life: full stream from the start; the daemon restores the
+	// checkpoint and skips what it already consumed.
+	cmd2 := exec.Command(os.Args[0], daemonArgs(snap)...)
+	cmd2.Env = append(os.Environ(), "JOINTPMD_BE_DAEMON=1")
+	cmd2.Stdin = bytes.NewReader(traceBytes)
+	var stderr2 bytes.Buffer
+	cmd2.Stderr = &stderr2
+	out2, err := cmd2.Output()
+	if err != nil {
+		t.Fatalf("restarted run: %v\nstderr: %s", err, stderr2.String())
+	}
+	if !strings.Contains(stderr2.String(), "restored disk=d0") {
+		t.Fatalf("restart did not report a restore:\n%s", stderr2.String())
+	}
+
+	got := append(got1, decisionLines(string(out2))...)
+	if len(got) != len(want) {
+		t.Fatalf("interrupted+restarted run printed %d decisions, reference %d\ngot: %v", len(got), len(want), got)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("decision %d diverges after warm resume:\n got %s\nwant %s", i, got[i], want[i])
+		}
+	}
+}
+
+// TestSocketStream drives the daemon's listener mode: two connections
+// stream two disks over a unix socket, and the daemon emits decision
+// lines tagged with each disk's name.
+func TestSocketStream(t *testing.T) {
+	if testing.Short() {
+		t.Skip("re-execs a daemon run")
+	}
+	dir := t.TempDir()
+	trPath := filepath.Join(dir, "w.trc")
+	writeTestTrace(t, trPath)
+	traceBytes, err := os.ReadFile(trPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sock := filepath.Join(dir, "d.sock")
+
+	cmd := exec.Command(os.Args[0], "-listen", "unix:"+sock,
+		"-mem", "128MB", "-bank", "1MB", "-period", "120")
+	cmd.Env = append(os.Environ(), "JOINTPMD_BE_DAEMON=1")
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill()
+
+	// Wait for the socket to appear.
+	deadline := time.Now().Add(time.Minute)
+	for {
+		if _, err := os.Stat(sock); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("daemon never created the socket")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	stream := func(disk string) {
+		conn, err := net.Dial("unix", sock)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		defer conn.Close()
+		if _, err := io.WriteString(conn, "disk "+disk+"\n"); err != nil {
+			t.Error(err)
+			return
+		}
+		if _, err := conn.Write(traceBytes); err != nil {
+			t.Error(err)
+		}
+	}
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { defer wg.Done(); stream("sda") }()
+	go func() { defer wg.Done(); stream("sdb") }()
+	wg.Wait()
+
+	// Collect decisions until both disks have reported every period.
+	counts := map[string]int{}
+	sc := bufio.NewScanner(stdout)
+	timer := time.AfterFunc(time.Minute, func() { cmd.Process.Kill() })
+	defer timer.Stop()
+	for sc.Scan() {
+		l := sc.Text()
+		if !strings.HasPrefix(l, "decision ") {
+			continue
+		}
+		for _, d := range []string{"sda", "sdb"} {
+			if strings.Contains(l, "disk="+d+" ") {
+				counts[d]++
+			}
+		}
+		if counts["sda"] >= 14 && counts["sdb"] >= 14 {
+			break
+		}
+	}
+	if counts["sda"] < 14 || counts["sdb"] < 14 {
+		t.Fatalf("decision counts %v, want at least 14 per disk", counts)
+	}
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	// The handler closes the listener; the accept loop may then return
+	// cleanly (exit 0) before the handler's own exit(143) — both are a
+	// graceful stop.
+	err = cmd.Wait()
+	var exitErr *exec.ExitError
+	if err != nil && (!errors.As(err, &exitErr) || exitErr.ExitCode() != 143) {
+		t.Fatalf("Wait = %v, want clean exit or 143", err)
+	}
+}

@@ -23,6 +23,7 @@ import (
 	"jointpm/internal/obs"
 	"jointpm/internal/policy"
 	"jointpm/internal/profiling"
+	"jointpm/internal/shutdown"
 	"jointpm/internal/sim"
 	"jointpm/internal/simtime"
 	"jointpm/internal/trace"
@@ -58,6 +59,18 @@ func run() (retErr error) {
 		flag.Usage()
 		os.Exit(2)
 	}
+
+	// Cleanups (journal flush, profile stop, metrics server close) go on
+	// a shutdown stack instead of plain defers, so a SIGINT/SIGTERM mid-
+	// run or mid-linger still flushes everything before exiting 128+sig.
+	shut := shutdown.NewStack("pmsim")
+	defer func() {
+		if cerr := shut.Run(); cerr != nil && retErr == nil {
+			retErr = cerr
+		}
+	}()
+	stopSignals := shut.HandleSignals()
+	defer stopSignals()
 
 	f, err := os.Open(*tracePath)
 	if err != nil {
@@ -97,7 +110,7 @@ func run() (retErr error) {
 			return fmt.Errorf("serving -metrics-addr %s: %w", *metricsAddr, err)
 		}
 		fmt.Fprintf(os.Stderr, "pmsim: metrics on http://%s/metrics\n", addr)
-		defer srv.Close()
+		shut.Defer(srv.Close)
 	}
 	var sink *obs.DecisionSink
 	if *decTrace != "" {
@@ -105,22 +118,24 @@ func run() (retErr error) {
 		if err != nil {
 			return fmt.Errorf("opening -decision-trace: %w", err)
 		}
-		defer func() {
-			if cerr := sink.Close(); cerr != nil && retErr == nil {
-				retErr = fmt.Errorf("flushing -decision-trace %s: %w", *decTrace, cerr)
+		shut.Defer(func() error {
+			if cerr := sink.Close(); cerr != nil {
+				return fmt.Errorf("flushing -decision-trace %s: %w", *decTrace, cerr)
 			}
-		}()
+			return nil
+		})
 	}
 
 	stopProfiles, err := profiling.Start(*cpuprofile, *memprofile)
 	if err != nil {
 		return fmt.Errorf("starting profiles: %w", err)
 	}
-	defer func() {
-		if perr := stopProfiles(); perr != nil && retErr == nil {
-			retErr = fmt.Errorf("flushing profiles: %w", perr)
+	shut.Defer(func() error {
+		if perr := stopProfiles(); perr != nil {
+			return fmt.Errorf("flushing profiles: %w", perr)
 		}
-	}()
+		return nil
+	})
 
 	cfg := sim.Config{
 		Trace:         tr,

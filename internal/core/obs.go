@@ -53,6 +53,24 @@ func newCoreMetrics(r *obs.Registry) coreMetrics {
 	}
 }
 
+// eachCounter visits every decision counter with its registry name, in a
+// fixed order. Snapshot/Restore use it to carry counter values across a
+// daemon restart without the registry having to know about checkpoints.
+func (cm *coreMetrics) eachCounter(f func(name string, c *obs.Counter)) {
+	f("core.decide.calls", cm.decisions)
+	f("core.decide.empty", cm.emptyDecisions)
+	f("core.decide.candidates_priced", cm.candidates)
+	f("core.decide.rejected_util", cm.rejectedUtil)
+	f("core.decide.rejected_delay", cm.rejectedDelay)
+	f("core.decide.eq6_clamped", cm.clamped)
+	f("core.decide.spindown_disabled", cm.spinDisabled)
+	f("core.decide.hysteresis_holds", cm.hysteresis)
+	f("core.decide.refill_bytes", cm.refillBytes)
+	f("core.decide.fit_degenerate", cm.fitDegenerate)
+	f("core.decide.fallback_decisions", cm.fallbacks)
+	f("core.decide.nonfinite_candidates", cm.nonFinite)
+}
+
 // recordDecision publishes the decision-level gauges and counters.
 func (m *Manager) recordDecision(d Decision) {
 	m.met.banks.Set(float64(d.Banks))

@@ -1,0 +1,133 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"jointpm/internal/obs"
+	"jointpm/internal/simtime"
+)
+
+// State is the portable mutable state of a Manager: everything Decide
+// reads across period boundaries, plus the lifetime decision counters.
+// The extended-LRU stack itself lives with the caller that feeds the
+// manager (the simulator's engine or a daemon shard) and is checkpointed
+// alongside this — see internal/serve.
+//
+// Decision parity depends only on Banks/Pages/Timeout: hysteresis
+// compares candidate sizes against Banks, and the fallback ladder holds
+// all three. Restoring them makes the first post-restore Decide
+// indistinguishable from one issued by the uninterrupted manager.
+type State struct {
+	Banks    int
+	Pages    int64
+	Timeout  simtime.Seconds
+	Fallback bool
+	// Counters carries the core.decide.* counter values so telemetry
+	// survives a restart; nil when the manager runs without a registry.
+	Counters map[string]int64
+}
+
+// Snapshot captures the manager's restorable state.
+func (m *Manager) Snapshot() State {
+	st := State{
+		Banks:    m.last.Banks,
+		Pages:    m.last.Pages,
+		Timeout:  m.last.Timeout,
+		Fallback: m.last.Fallback,
+	}
+	m.met.eachCounter(func(name string, c *obs.Counter) {
+		if v := c.Value(); v != 0 {
+			if st.Counters == nil {
+				st.Counters = make(map[string]int64)
+			}
+			st.Counters[name] = v
+		}
+	})
+	return st
+}
+
+// Restore rehydrates a manager from a State captured by Snapshot on a
+// manager with the same Params. It validates the state against the
+// current configuration and leaves the manager untouched on error.
+func (m *Manager) Restore(st State) error {
+	if st.Banks < m.p.MinBanks || st.Banks > m.p.TotalBanks {
+		return fmt.Errorf("core: restore: banks %d outside [%d, %d]", st.Banks, m.p.MinBanks, m.p.TotalBanks)
+	}
+	maxPages := int64(m.p.TotalBanks) * m.p.bankPages()
+	if st.Pages < 0 || st.Pages > maxPages {
+		return fmt.Errorf("core: restore: pages %d outside [0, %d]", st.Pages, maxPages)
+	}
+	if math.IsNaN(float64(st.Timeout)) || st.Timeout < 0 {
+		return fmt.Errorf("core: restore: invalid timeout %v", st.Timeout)
+	}
+	for name, v := range st.Counters {
+		if v < 0 {
+			return fmt.Errorf("core: restore: counter %s negative (%d)", name, v)
+		}
+	}
+	m.last = Decision{
+		Banks:    st.Banks,
+		Pages:    st.Pages,
+		Timeout:  st.Timeout,
+		Fallback: st.Fallback,
+	}
+	m.met.eachCounter(func(name string, c *obs.Counter) {
+		if want, ok := st.Counters[name]; ok {
+			c.Add(want - c.Value())
+		}
+	})
+	return nil
+}
+
+// MergeParams overlays the non-zero fields of o onto base. It is how
+// callers (the simulator, the daemon) apply partial overrides on top of
+// DefaultParams without having to re-state every field.
+func MergeParams(base, o Params) Params {
+	if o.Period > 0 {
+		base.Period = o.Period
+	}
+	if o.Window > 0 {
+		base.Window = o.Window
+	}
+	if o.UtilCap > 0 {
+		base.UtilCap = o.UtilCap
+	}
+	if o.DelayCap > 0 {
+		base.DelayCap = o.DelayCap
+	}
+	if o.LongLatency > 0 {
+		base.LongLatency = o.LongLatency
+	}
+	if o.EnumUnit > 0 {
+		base.EnumUnit = o.EnumUnit
+	}
+	if o.MinBanks > 0 {
+		base.MinBanks = o.MinBanks
+	}
+	if o.MaxCandidatesPerPass > 0 {
+		base.MaxCandidatesPerPass = o.MaxCandidatesPerPass
+	}
+	if o.EvalWorkers > 0 {
+		base.EvalWorkers = o.EvalWorkers
+	}
+	if o.SequentialReplay {
+		base.SequentialReplay = true
+	}
+	if o.FixedTimeout {
+		base.FixedTimeout = true
+	}
+	if o.NoConstraintFloor {
+		base.NoConstraintFloor = true
+	}
+	if o.HysteresisFrac != 0 {
+		base.HysteresisFrac = o.HysteresisFrac
+	}
+	if o.Metrics != nil {
+		base.Metrics = o.Metrics
+	}
+	if o.DecisionTrace != nil {
+		base.DecisionTrace = o.DecisionTrace
+	}
+	return base
+}

@@ -1,0 +1,137 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"jointpm/internal/obs"
+	"jointpm/internal/simtime"
+)
+
+// observations builds a deterministic sequence of period observations
+// with shifting working sets, so the manager's decisions actually move
+// (and hysteresis has something to hold against).
+func snapshotObservations(p Params, periods int) []Observation {
+	bankPages := p.bankPages()
+	out := make([]Observation, 0, periods)
+	for i := 0; i < periods; i++ {
+		ws := (int64(i%5) + 2) * 4 * bankPages
+		log := synthLog(ws, 2000, 0.2, p.PageSize)
+		out = append(out, Observation{
+			Log:            log,
+			CacheAccesses:  int64(len(log)),
+			CoalesceFactor: 1,
+			PeriodStart:    simtime.Seconds(float64(i)) * p.Period,
+			PeriodEnd:      simtime.Seconds(float64(i+1)) * p.Period,
+		})
+	}
+	return out
+}
+
+// TestSnapshotRestoreDecisionParity is the acceptance criterion for the
+// checkpoint layer: restoring a snapshot into a fresh manager and
+// replaying the remaining periods yields decisions DeepEqual to the
+// uninterrupted run, at every possible cut point.
+func TestSnapshotRestoreDecisionParity(t *testing.T) {
+	p := testParams()
+	p.HysteresisFrac = 0.05 // exercise the state-dependent hold path
+	obsSeq := snapshotObservations(p, 8)
+
+	ref, err := NewManager(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]Decision, len(obsSeq))
+	for i, o := range obsSeq {
+		want[i] = ref.Decide(o)
+	}
+
+	for cut := 0; cut <= len(obsSeq); cut++ {
+		warm, err := NewManager(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, o := range obsSeq[:cut] {
+			warm.Decide(o)
+		}
+		st := warm.Snapshot()
+
+		cold, err := NewManager(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := cold.Restore(st); err != nil {
+			t.Fatalf("cut %d: restore: %v", cut, err)
+		}
+		for i := cut; i < len(obsSeq); i++ {
+			got := cold.Decide(obsSeq[i])
+			if !reflect.DeepEqual(got, want[i]) {
+				t.Fatalf("cut %d period %d: restored decision diverges:\ngot  %+v\nwant %+v", cut, i, got, want[i])
+			}
+		}
+	}
+}
+
+// TestSnapshotCarriesCounters: counter values survive the round trip
+// when both managers share a registry family.
+func TestSnapshotCarriesCounters(t *testing.T) {
+	p := testParams()
+	p.Metrics = obs.NewRegistry()
+	m, err := NewManager(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range snapshotObservations(p, 3) {
+		m.Decide(o)
+	}
+	st := m.Snapshot()
+	if st.Counters["core.decide.calls"] != 3 {
+		t.Fatalf("snapshot calls counter = %d, want 3", st.Counters["core.decide.calls"])
+	}
+
+	p2 := testParams()
+	p2.Metrics = obs.NewRegistry()
+	m2, err := NewManager(p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m2.Restore(st); err != nil {
+		t.Fatal(err)
+	}
+	if got := p2.Metrics.CounterValue("core.decide.calls"); got != 3 {
+		t.Fatalf("restored calls counter = %d, want 3", got)
+	}
+	// Restore must be level-setting, not additive: a second restore of
+	// the same state leaves the counters unchanged.
+	if err := m2.Restore(st); err != nil {
+		t.Fatal(err)
+	}
+	if got := p2.Metrics.CounterValue("core.decide.calls"); got != 3 {
+		t.Fatalf("double restore drifted calls counter to %d", got)
+	}
+}
+
+func TestRestoreRejectsInvalidState(t *testing.T) {
+	p := testParams()
+	m, err := NewManager(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := m.Last()
+	bad := []State{
+		{Banks: 0, Pages: 0, Timeout: 1},
+		{Banks: p.TotalBanks + 1, Pages: 0, Timeout: 1},
+		{Banks: 1, Pages: -1, Timeout: 1},
+		{Banks: 1, Pages: int64(p.TotalBanks)*m.p.bankPages() + 1, Timeout: 1},
+		{Banks: 1, Pages: 0, Timeout: -1},
+		{Banks: 1, Pages: 0, Timeout: 1, Counters: map[string]int64{"core.decide.calls": -4}},
+	}
+	for i, st := range bad {
+		if err := m.Restore(st); err == nil {
+			t.Errorf("state %d accepted: %+v", i, st)
+		}
+	}
+	if !reflect.DeepEqual(m.Last(), before) {
+		t.Error("failed restore mutated manager state")
+	}
+}

@@ -145,6 +145,22 @@ func (j *Injector) BankTransitionFails(bank int, enable bool, t simtime.Seconds)
 	return true
 }
 
+// CrashAtPeriodBoundary reports whether the plan scripts a daemon crash
+// while closing 1-based period idx. Unlike the probabilistic domains it
+// is a pure schedule lookup — the crash-recovery harness needs the crash
+// point to be exact so it can compare against an uninterrupted run. A
+// nil injector never crashes.
+func (j *Injector) CrashAtPeriodBoundary(idx int64) bool {
+	if j == nil || j.plan.Daemon.CrashAtPeriod == 0 {
+		return false
+	}
+	if idx != j.plan.Daemon.CrashAtPeriod {
+		return false
+	}
+	j.met.injected.Inc()
+	return true
+}
+
 // ApplyTrace returns tr with the plan's segment faults applied: dropped
 // (truncated) spans and clock-skewed spans. With no segments it returns
 // tr unchanged (same pointer — the fault-free path copies nothing). The

@@ -29,6 +29,8 @@ func TestPlanValidate(t *testing.T) {
 		{"overlapping segments", Plan{Trace: []TraceSegment{{StartS: 0, EndS: 10}, {StartS: 5, EndS: 20}}}, false},
 		{"open-ended not last", Plan{Trace: []TraceSegment{{StartS: 0}, {StartS: 10, EndS: 20}}}, false},
 		{"negative skew", Plan{Trace: []TraceSegment{{StartS: 0, EndS: 10, ClockSkew: -2}}}, false},
+		{"daemon crash", Plan{Daemon: DaemonPlan{CrashAtPeriod: 4}}, true},
+		{"negative crash period", Plan{Daemon: DaemonPlan{CrashAtPeriod: -1}}, false},
 	}
 	for _, c := range cases {
 		err := c.plan.Validate()
@@ -242,5 +244,25 @@ func TestApplyTraceDropAndClamp(t *testing.T) {
 	}
 	if err := got.Validate(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestCrashAtPeriodBoundary: the crash schedule is an exact lookup, a
+// zero plan never crashes, and a crash plan is not IsZero (so the
+// differential zero-plan guarantee still holds).
+func TestCrashAtPeriodBoundary(t *testing.T) {
+	var nilInj *Injector
+	if nilInj.CrashAtPeriodBoundary(1) {
+		t.Error("nil injector crashed")
+	}
+	j := NewInjector(Plan{Daemon: DaemonPlan{CrashAtPeriod: 3}}, 60, nil)
+	for idx := int64(1); idx <= 6; idx++ {
+		if got, want := j.CrashAtPeriodBoundary(idx), idx == 3; got != want {
+			t.Errorf("period %d: crash = %v, want %v", idx, got, want)
+		}
+	}
+	plan := Plan{Daemon: DaemonPlan{CrashAtPeriod: 3}}
+	if plan.IsZero() {
+		t.Error("crash plan reported as zero")
 	}
 }

@@ -63,13 +63,25 @@ type TraceSegment struct {
 	Drop bool `json:"drop,omitempty"`
 }
 
+// DaemonPlan scripts daemon-process faults: crashes at deterministic
+// points of the serving loop, used by the crash-recovery harness to test
+// checkpoint/restore without real process kills in unit tests.
+type DaemonPlan struct {
+	// CrashAtPeriod scripts an abrupt crash while closing period N
+	// (1-based; the decision for that period is never published and the
+	// shutdown checkpoint is never written — only periodic checkpoints
+	// survive). 0 means no crash.
+	CrashAtPeriod int64 `json:"crash_at_period,omitempty"`
+}
+
 // Plan is one scripted fault scenario, loadable from JSON (see
 // testdata/faults/*.json and the schema in DESIGN.md).
 type Plan struct {
-	Seed  uint64         `json:"seed"`
-	Disk  DiskPlan       `json:"disk,omitempty"`
-	Mem   MemPlan        `json:"mem,omitempty"`
-	Trace []TraceSegment `json:"trace,omitempty"`
+	Seed   uint64         `json:"seed"`
+	Disk   DiskPlan       `json:"disk,omitempty"`
+	Mem    MemPlan        `json:"mem,omitempty"`
+	Trace  []TraceSegment `json:"trace,omitempty"`
+	Daemon DaemonPlan     `json:"daemon,omitempty"`
 }
 
 // IsZero reports whether the plan injects nothing: every probability
@@ -78,7 +90,8 @@ type Plan struct {
 // differential test in invariant_test.go holds this).
 func (p *Plan) IsZero() bool {
 	return p.Disk.SpinUpFailProb == 0 && p.Disk.LatencySpikeProb == 0 &&
-		p.Mem.TransitionFailProb == 0 && len(p.Trace) == 0
+		p.Mem.TransitionFailProb == 0 && len(p.Trace) == 0 &&
+		p.Daemon.CrashAtPeriod == 0
 }
 
 // Validate reports the first structural error in the plan.
@@ -100,6 +113,9 @@ func (p *Plan) Validate() error {
 	}
 	if p.Disk.LatencySpikeS < 0 {
 		return fmt.Errorf("fault: disk.latency_spike_s %g negative", p.Disk.LatencySpikeS)
+	}
+	if p.Daemon.CrashAtPeriod < 0 {
+		return fmt.Errorf("fault: daemon.crash_at_period %d negative", p.Daemon.CrashAtPeriod)
 	}
 	prevEnd := 0.0
 	for i, s := range p.Trace {

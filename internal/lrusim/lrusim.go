@@ -131,6 +131,39 @@ func (s *StackSim) Refs() int64 { return s.refs }
 // Colds returns the number of cold (untracked) references seen.
 func (s *StackSim) Colds() int64 { return s.colds }
 
+// SnapshotPages returns the tracked pages in recency order, least
+// recently used first. The result is independent of internal position
+// renumbering (compact), so it is a stable serialization of the stack:
+// feeding it to RestoreStackSim yields a simulator that reports the same
+// depth for every future reference stream as the original.
+func (s *StackSim) SnapshotPages() []int64 {
+	out := make([]int64, 0, s.count)
+	for pos := 0; pos < s.nextPos; pos++ {
+		if s.pageAt[pos] >= 0 {
+			out = append(out, s.pageAt[pos])
+		}
+	}
+	return out
+}
+
+// Counters returns the lifetime reference counters: total references and
+// cold references. They ride along with SnapshotPages in checkpoints.
+func (s *StackSim) Counters() (refs, colds int64) { return s.refs, s.colds }
+
+// RestoreStackSim rebuilds a StackSim from a SnapshotPages/Counters
+// checkpoint. Pages must be in LRU-to-MRU order as SnapshotPages emits
+// them; excess pages beyond maxTracked are evicted oldest-first, matching
+// what a live simulator with the smaller window would have retained.
+func RestoreStackSim(maxTracked int, pages []int64, refs, colds int64) *StackSim {
+	s := NewStackSim(maxTracked)
+	for _, p := range pages {
+		s.Reference(p)
+	}
+	s.refs = refs
+	s.colds = colds
+	return s
+}
+
 // DropDeepest removes tracked pages deeper than keep, modelling a memory
 // shrink in which both resident and ghost history beyond the new tracked
 // window are forgotten. It is not used by the joint manager (which keeps

@@ -12,6 +12,7 @@ import (
 	"os"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Float is a float64 that marshals non-finite values as JSON null
@@ -90,6 +91,12 @@ type DecisionRecord struct {
 // caller passes 0.
 const DefaultSinkDepth = 256
 
+// DefaultFlushInterval is how often a file-backed sink flushes its write
+// buffer when records are trickling in. Batch runs flush on Close anyway;
+// the interval exists for long-running daemons, where a record must not
+// sit in the buffer for hours because the next one is a period away.
+const DefaultFlushInterval = time.Second
+
 // DecisionSink journals decision records as JSON lines. Emit never
 // blocks: records queue on a buffered channel drained by one writer
 // goroutine, and records arriving at a full queue are counted as
@@ -106,31 +113,47 @@ type DecisionSink struct {
 	once    sync.Once
 	mu      sync.RWMutex // serialises Emit sends against the channel close
 	closed  atomic.Bool
+
+	// flushEvery > 0 makes the drain goroutine flush the write buffer on
+	// that interval while idle. It is fixed at construction and only the
+	// drain goroutine acts on it, so no synchronisation is needed.
+	flushEvery time.Duration
 }
 
 // NewDecisionSink starts a sink writing JSON lines to w. depth ≤ 0 uses
-// DefaultSinkDepth. Close must be called to flush.
+// DefaultSinkDepth. Close must be called to flush. The sink flushes only
+// on Close; use NewFlushingSink when records must hit the writer while
+// the sink stays open.
 func NewDecisionSink(w io.Writer, depth int) *DecisionSink {
+	return NewFlushingSink(w, depth, 0)
+}
+
+// NewFlushingSink is NewDecisionSink with a periodic buffer flush every
+// flushEvery (0 disables, restoring flush-on-Close-only behavior).
+func NewFlushingSink(w io.Writer, depth int, flushEvery time.Duration) *DecisionSink {
 	if depth <= 0 {
 		depth = DefaultSinkDepth
 	}
 	s := &DecisionSink{
-		ch:   make(chan DecisionRecord, depth),
-		done: make(chan struct{}),
-		w:    bufio.NewWriter(w),
+		ch:         make(chan DecisionRecord, depth),
+		done:       make(chan struct{}),
+		w:          bufio.NewWriter(w),
+		flushEvery: flushEvery,
 	}
 	go s.drain()
 	return s
 }
 
 // NewFileSink creates path (truncating) and starts a sink writing to
-// it; Close closes the file.
+// it; Close closes the file. File sinks flush periodically
+// (DefaultFlushInterval) so a long-running process's journal stays
+// near-current on disk.
 func NewFileSink(path string, depth int) (*DecisionSink, error) {
 	f, err := os.Create(path)
 	if err != nil {
 		return nil, fmt.Errorf("obs: decision trace: %w", err)
 	}
-	s := NewDecisionSink(f, depth)
+	s := NewFlushingSink(f, depth, DefaultFlushInterval)
 	s.closer = f
 	return s, nil
 }
@@ -186,24 +209,57 @@ func (s *DecisionSink) Close() error {
 
 func (s *DecisionSink) drain() {
 	defer close(s.done)
-	for r := range s.ch {
-		s.seq++
-		r.Seq = s.seq
-		b, err := json.Marshal(r)
-		if err == nil {
-			b = append(b, '\n')
-			_, err = s.w.Write(b)
-		}
-		if err != nil && s.werr == nil {
-			s.werr = err
+	var tickC <-chan time.Time
+	if s.flushEvery > 0 {
+		tick := time.NewTicker(s.flushEvery)
+		defer tick.Stop()
+		tickC = tick.C
+	}
+	for {
+		select {
+		case r, ok := <-s.ch:
+			if !ok {
+				s.finish()
+				return
+			}
+			s.writeRecord(r)
+		case <-tickC:
+			s.setErr(s.w.Flush())
 		}
 	}
-	if err := s.w.Flush(); err != nil && s.werr == nil {
-		s.werr = err
+}
+
+// writeRecord journals one record. The buffer is pre-flushed when the
+// encoded line would not fit in the remaining space, so every line
+// reaches the underlying writer in one Write — a process killed at any
+// instant leaves a journal whose last record is complete, never split
+// mid-line across two flushes.
+func (s *DecisionSink) writeRecord(r DecisionRecord) {
+	s.seq++
+	r.Seq = s.seq
+	b, err := json.Marshal(r)
+	if err != nil {
+		s.setErr(err)
+		return
 	}
+	b = append(b, '\n')
+	if len(b) > s.w.Available() && s.w.Buffered() > 0 {
+		s.setErr(s.w.Flush())
+	}
+	_, err = s.w.Write(b)
+	s.setErr(err)
+}
+
+func (s *DecisionSink) finish() {
+	s.setErr(s.w.Flush())
 	if s.closer != nil {
-		if err := s.closer.Close(); err != nil && s.werr == nil {
-			s.werr = err
-		}
+		s.setErr(s.closer.Close())
+	}
+}
+
+// setErr records the first error seen by the drain goroutine.
+func (s *DecisionSink) setErr(err error) {
+	if err != nil && s.werr == nil {
+		s.werr = err
 	}
 }

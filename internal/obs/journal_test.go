@@ -7,6 +7,7 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 )
 
 // TestSinkWritesJSONL checks record round-tripping, write-order seq
@@ -126,5 +127,108 @@ func TestSinkConcurrentEmitClose(t *testing.T) {
 	// Close is idempotent.
 	if err := s.Close(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// chunkRecorder records every Write call it receives, so tests can
+// assert per-call properties (e.g. whole lines only).
+type chunkRecorder struct {
+	mu     sync.Mutex
+	chunks [][]byte
+}
+
+func (c *chunkRecorder) Write(p []byte) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.chunks = append(c.chunks, append([]byte(nil), p...))
+	return len(p), nil
+}
+
+// TestSinkWholeRecordWrites: every Write the sink issues to the
+// underlying writer ends on a record boundary, so a process killed
+// between any two syscalls leaves a journal whose last line is complete.
+func TestSinkWholeRecordWrites(t *testing.T) {
+	rec := &chunkRecorder{}
+	s := NewDecisionSink(rec, 8)
+	// Records with a fat runners-up slate so lines approach and exceed
+	// the default 4 KB bufio buffer at varying sizes.
+	for i := 0; i < 200; i++ {
+		r := DecisionRecord{Evaluated: i}
+		for j := 0; j < i%40; j++ {
+			r.RunnersUp = append(r.RunnersUp, CandidateSummary{Banks: j, Reason: "higher-power"})
+		}
+		s.Emit(r)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for i, ch := range rec.chunks {
+		if len(ch) == 0 || ch[len(ch)-1] != '\n' {
+			t.Fatalf("write %d does not end on a record boundary: %q...", i, ch[:min(len(ch), 80)])
+		}
+	}
+}
+
+// TestSinkPeriodicFlush: with a flush interval set, an emitted record
+// reaches the underlying writer without Close.
+func TestSinkPeriodicFlush(t *testing.T) {
+	rec := &chunkRecorder{}
+	s := NewFlushingSink(rec, 8, time.Millisecond)
+	s.Emit(DecisionRecord{Evaluated: 1})
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		rec.mu.Lock()
+		n := len(rec.chunks)
+		rec.mu.Unlock()
+		if n > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("record never flushed while sink open")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSinkCloseRacesEmitAndTicker drives emitters, the periodic flush
+// ticker, and concurrent Closes against each other; run under -race in
+// CI. This is the linger-timer-vs-Close audit: the flush ticker lives in
+// the drain goroutine, so no flush can touch the buffer after Close's
+// final flush.
+func TestSinkCloseRacesEmitAndTicker(t *testing.T) {
+	for iter := 0; iter < 50; iter++ {
+		var buf bytes.Buffer
+		s := NewFlushingSink(&buf, 4, time.Microsecond)
+		var wg sync.WaitGroup
+		for w := 0; w < 4; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < 50; i++ {
+					s.Emit(DecisionRecord{Evaluated: i})
+				}
+			}()
+		}
+		// Two goroutines close concurrently, mid-emission.
+		for c := 0; c < 2; c++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				if err := s.Close(); err != nil {
+					t.Error(err)
+				}
+			}()
+		}
+		wg.Wait()
+		if got := strings.TrimSuffix(buf.String(), "\n"); got != "" {
+			for _, line := range strings.Split(got, "\n") {
+				if !json.Valid([]byte(line)) {
+					t.Fatalf("corrupt journal line: %q", line)
+				}
+			}
+		}
 	}
 }

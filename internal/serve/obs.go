@@ -1,0 +1,33 @@
+package serve
+
+import "jointpm/internal/obs"
+
+// serveMetrics are the daemon-level instruments. All nil-safe: with no
+// registry every hook is a no-op.
+type serveMetrics struct {
+	uptime           *obs.Gauge   // serve.uptime_s
+	shards           *obs.Gauge   // serve.shards
+	streamLag        *obs.Gauge   // serve.stream_lag_s
+	decisions        *obs.Counter // serve.decisions
+	periodsClosed    *obs.Counter // serve.periods_closed
+	checkpoints      *obs.Counter // serve.checkpoints
+	checkpointErrors *obs.Counter // serve.checkpoint_errors
+	checkpointBytes  *obs.Gauge   // serve.checkpoint_bytes
+	restores         *obs.Counter // serve.restores
+	lastBanks        *obs.Gauge   // serve.last_banks
+}
+
+func newServeMetrics(r *obs.Registry) serveMetrics {
+	return serveMetrics{
+		uptime:           r.Gauge("serve.uptime_s"),
+		shards:           r.Gauge("serve.shards"),
+		streamLag:        r.Gauge("serve.stream_lag_s"),
+		decisions:        r.Counter("serve.decisions"),
+		periodsClosed:    r.Counter("serve.periods_closed"),
+		checkpoints:      r.Counter("serve.checkpoints"),
+		checkpointErrors: r.Counter("serve.checkpoint_errors"),
+		checkpointBytes:  r.Gauge("serve.checkpoint_bytes"),
+		restores:         r.Counter("serve.restores"),
+		lastBanks:        r.Gauge("serve.last_banks"),
+	}
+}

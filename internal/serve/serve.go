@@ -1,0 +1,286 @@
+// Package serve is the daemon layer over the joint power manager: the
+// long-running counterpart of the batch simulator. A Server hosts one
+// controller Shard per disk, ingesting that disk's access stream
+// incrementally (trace.Stream), closing adaptation periods as stream
+// time crosses boundaries, and deciding (m, t_o) per period through one
+// core.Manager per shard on a shared concurrency semaphore.
+//
+// The server checkpoints every shard's state — extended-LRU stack,
+// partial-period depth log, manager state, counters — to a versioned
+// snapshot file (see snapshot.go) every SnapshotEvery periods and on
+// graceful Close, so a restarted daemon resumes warm: its first
+// post-restart decision is exactly what the uninterrupted run would
+// have decided, instead of the cold all-banks/t_be default.
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"jointpm/internal/core"
+	"jointpm/internal/disk"
+	"jointpm/internal/fault"
+	"jointpm/internal/mem"
+	"jointpm/internal/obs"
+	"jointpm/internal/simtime"
+)
+
+// Config parameterizes a Server.
+type Config struct {
+	PageSize     simtime.Bytes // default 64 KB
+	BankSize     simtime.Bytes // default 16 MB
+	InstalledMem simtime.Bytes // required
+	Period       simtime.Seconds
+	// WarmupPeriods holds the safe default for the first N periods
+	// instead of deciding from cold-fill-dominated logs.
+	WarmupPeriods int
+	DiskSpec      disk.Spec // zero value means disk.Barracuda()
+	MemSpec       mem.Spec  // zero value means mem.RDRAM(BankSize)
+	// Joint overlays non-zero fields onto the derived core.DefaultParams.
+	Joint *core.Params
+
+	// SnapshotPath enables checkpointing; empty disables it.
+	SnapshotPath string
+	// SnapshotEvery writes a checkpoint whenever any shard has closed a
+	// multiple of this many periods (0: only on Close).
+	SnapshotEvery int64
+
+	// Workers bounds concurrent Decide calls across shards
+	// (default GOMAXPROCS).
+	Workers int
+
+	Metrics       *obs.Registry
+	DecisionTrace *obs.DecisionSink
+	Injector      *fault.Injector
+
+	// OnDecision, when set, receives every published decision. Called
+	// from shard goroutines; must be safe for concurrent use.
+	OnDecision func(Decision)
+}
+
+func (c Config) withDefaults() (Config, error) {
+	if c.PageSize == 0 {
+		c.PageSize = 64 * simtime.KB
+	}
+	if c.BankSize == 0 {
+		c.BankSize = 16 * simtime.MB
+	}
+	if c.InstalledMem <= 0 {
+		return c, errors.New("serve: config needs InstalledMem")
+	}
+	if c.InstalledMem%c.BankSize != 0 {
+		return c, fmt.Errorf("serve: installed memory %v not a whole number of %v banks", c.InstalledMem, c.BankSize)
+	}
+	if c.Period <= 0 {
+		c.Period = 600
+	}
+	if c.WarmupPeriods < 0 {
+		return c, fmt.Errorf("serve: negative warmup periods %d", c.WarmupPeriods)
+	}
+	if c.DiskSpec == (disk.Spec{}) {
+		c.DiskSpec = disk.Barracuda()
+	}
+	if c.MemSpec == (mem.Spec{}) {
+		c.MemSpec = mem.RDRAM(c.BankSize)
+	}
+	if c.SnapshotEvery < 0 {
+		return c, fmt.Errorf("serve: negative snapshot interval %d", c.SnapshotEvery)
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	return c, nil
+}
+
+// Server hosts the per-disk shards and owns the checkpoint lifecycle.
+type Server struct {
+	cfg            Config
+	params         core.Params
+	installedPages int64
+	sem            chan struct{}
+	met            serveMetrics
+	started        time.Time
+
+	mu     sync.Mutex
+	shards map[string]*Shard
+	order  []string // shard creation order, for stable snapshots
+	closed bool
+}
+
+// New validates cfg and returns an empty server. If cfg.SnapshotPath
+// names an existing snapshot, the caller should Restore before
+// ingesting.
+func New(cfg Config) (*Server, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	totalBanks := int(cfg.InstalledMem / cfg.BankSize)
+	p := core.DefaultParams(cfg.PageSize, cfg.BankSize, totalBanks, cfg.DiskSpec, cfg.MemSpec)
+	p.Period = cfg.Period
+	if cfg.Joint != nil {
+		p = core.MergeParams(p, *cfg.Joint)
+	}
+	if cfg.Metrics != nil {
+		p.Metrics = cfg.Metrics
+	}
+	if cfg.DecisionTrace != nil {
+		p.DecisionTrace = cfg.DecisionTrace
+	}
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("serve: %w", err)
+	}
+	s := &Server{
+		cfg:            cfg,
+		params:         p,
+		installedPages: int64(cfg.InstalledMem / cfg.PageSize),
+		sem:            make(chan struct{}, cfg.Workers),
+		met:            newServeMetrics(cfg.Metrics),
+		started:        time.Now(),
+		shards:         make(map[string]*Shard),
+	}
+	return s, nil
+}
+
+// Params returns the manager parameters every shard runs with.
+func (s *Server) Params() core.Params { return s.params }
+
+// Shard returns the controller for the named disk, creating it on first
+// use.
+func (s *Server) Shard(name string) (*Shard, error) {
+	if name == "" {
+		return nil, errors.New("serve: empty disk name")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, errors.New("serve: server closed")
+	}
+	if sh, ok := s.shards[name]; ok {
+		return sh, nil
+	}
+	sh, err := newShard(name, s)
+	if err != nil {
+		return nil, err
+	}
+	s.shards[name] = sh
+	s.order = append(s.order, name)
+	s.met.shards.Set(float64(len(s.shards)))
+	return sh, nil
+}
+
+func (s *Server) acquire() { s.sem <- struct{}{} }
+func (s *Server) release() { <-s.sem }
+
+// publish fans a decision out to telemetry and the configured callback.
+// Called with the closing shard's lock held, so the callback must not
+// call back into the server. The snapshot cadence is handled by the
+// shard after it releases its lock (see Shard.ckptDue).
+func (s *Server) publish(d Decision) {
+	s.met.decisions.Inc()
+	s.met.periodsClosed.Inc()
+	s.met.lastBanks.Set(float64(d.Decision.Banks))
+	s.met.uptime.Set(time.Since(s.started).Seconds())
+	if cb := s.cfg.OnDecision; cb != nil {
+		cb(d)
+	}
+}
+
+// cadenceCheckpoint writes the periodic checkpoint, folding failures
+// into the error counter: a daemon keeps serving when a checkpoint
+// write fails, it just can't resume as warm.
+func (s *Server) cadenceCheckpoint() {
+	if err := s.Checkpoint(); err != nil {
+		s.met.checkpointErrors.Inc()
+	}
+}
+
+// ObserveLag publishes how far behind real time the newest ingested
+// request is; the daemon calls it per accepted request batch.
+func (s *Server) ObserveLag(lag time.Duration) {
+	s.met.streamLag.Set(lag.Seconds())
+}
+
+// Checkpoint atomically writes a snapshot of every shard to
+// cfg.SnapshotPath. No-op (nil) when checkpointing is disabled.
+func (s *Server) Checkpoint() error {
+	if s.cfg.SnapshotPath == "" {
+		return nil
+	}
+	st := s.snapshotState()
+	n, err := writeSnapshotFile(s.cfg.SnapshotPath, st)
+	if err != nil {
+		return fmt.Errorf("serve: checkpoint: %w", err)
+	}
+	s.met.checkpoints.Inc()
+	s.met.checkpointBytes.Set(float64(n))
+	return nil
+}
+
+// snapshotState collects every shard's state in creation order. Each
+// shard is locked individually, so a snapshot lands on request
+// boundaries without stalling the whole server behind one lock.
+func (s *Server) snapshotState() []shardState {
+	s.mu.Lock()
+	order := append([]string(nil), s.order...)
+	shards := make([]*Shard, 0, len(order))
+	for _, name := range order {
+		shards = append(shards, s.shards[name])
+	}
+	s.mu.Unlock()
+	out := make([]shardState, 0, len(shards))
+	for _, sh := range shards {
+		sh.mu.Lock()
+		out = append(out, sh.state())
+		sh.mu.Unlock()
+	}
+	return out
+}
+
+// Restore loads cfg.SnapshotPath and rebuilds every checkpointed shard.
+// Returns the restored shard names (empty when the file does not
+// exist — a cold start, not an error).
+func (s *Server) Restore() ([]string, error) {
+	if s.cfg.SnapshotPath == "" {
+		return nil, nil
+	}
+	states, err := readSnapshotFile(s.cfg.SnapshotPath)
+	if err != nil {
+		if errors.Is(err, errNoSnapshot) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("serve: restore: %w", err)
+	}
+	names := make([]string, 0, len(states))
+	for _, st := range states {
+		sh, err := s.Shard(st.Name)
+		if err != nil {
+			return nil, err
+		}
+		if sh.Consumed() != 0 {
+			return nil, fmt.Errorf("serve: restore: shard %s already ingesting", st.Name)
+		}
+		if err := sh.restore(st); err != nil {
+			return nil, err
+		}
+		names = append(names, st.Name)
+	}
+	s.met.restores.Inc()
+	return names, nil
+}
+
+// Close takes a final checkpoint and marks the server closed. Safe to
+// call once; the caller owns flushing any decision sink it attached.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+	return s.Checkpoint()
+}

@@ -1,0 +1,291 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+
+	"jointpm/internal/core"
+	"jointpm/internal/lrusim"
+	"jointpm/internal/simtime"
+	"jointpm/internal/trace"
+)
+
+// ErrCrashInjected is returned by Ingest/FinishTo when the fault plan
+// scripts a daemon crash at the period boundary being closed. The
+// crash-recovery harness treats it as the process dying mid-period:
+// everything since the last checkpoint is lost.
+var ErrCrashInjected = fmt.Errorf("serve: injected crash at period boundary")
+
+// Decision is one published decision of a shard, tagged with its origin.
+type Decision struct {
+	Disk     string
+	Period   int64 // 1-based index of the period the decision closes
+	Decision core.Decision
+}
+
+// Shard is the online controller for one disk: the extended-LRU stack,
+// the current period's depth log, and the manager deciding (m, t_o) at
+// each period boundary. One goroutine ingests; the server's checkpoint
+// path locks the shard between requests, so a snapshot always lands on
+// a request boundary (never mid-request).
+type Shard struct {
+	name string
+	srv  *Server
+
+	mu  sync.Mutex
+	mgr *core.Manager
+
+	stack    *lrusim.StackSim
+	pageSize simtime.Bytes
+	period   simtime.Seconds
+
+	// Mutable stream state, all covered by the snapshot.
+	periodIdx    int64 // periods closed so far
+	consumed     int64 // requests ingested since stream start
+	nextBoundary simtime.Seconds
+	periodLog    []lrusim.DepthRecord
+	cacheAcc     int64 // page references this period
+	misses       int64 // predicted misses this period
+	reqRuns      int64 // coalesced disk requests this period
+
+	curBanks int
+	curPages int64
+
+	// ckptDue marks that a period boundary hit the snapshot cadence.
+	// The checkpoint itself runs after sh.mu is released — Checkpoint
+	// re-locks every shard, so writing it from closePeriod would
+	// self-deadlock.
+	ckptDue bool
+}
+
+func newShard(name string, srv *Server) (*Shard, error) {
+	mgr, err := core.NewManager(srv.params)
+	if err != nil {
+		return nil, fmt.Errorf("serve: shard %s: %w", name, err)
+	}
+	sh := &Shard{
+		name:         name,
+		srv:          srv,
+		mgr:          mgr,
+		stack:        lrusim.NewStackSim(int(srv.installedPages)),
+		pageSize:     srv.params.PageSize,
+		period:       srv.params.Period,
+		nextBoundary: srv.params.Period,
+		curBanks:     mgr.Last().Banks,
+		curPages:     mgr.Last().Pages,
+	}
+	return sh, nil
+}
+
+// Name returns the disk name the shard serves.
+func (sh *Shard) Name() string { return sh.name }
+
+// Consumed returns how many requests the shard has ingested since the
+// start of its stream. After a Restore, a replayed-from-start stream
+// must skip this many requests to resume where the checkpoint was taken.
+func (sh *Shard) Consumed() int64 {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.consumed
+}
+
+// Periods returns how many period boundaries the shard has closed.
+func (sh *Shard) Periods() int64 {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.periodIdx
+}
+
+// Ingest feeds one request, closing any period boundaries the request's
+// timestamp crosses first. Requests must arrive in time order.
+func (sh *Shard) Ingest(req trace.Request) error {
+	sh.mu.Lock()
+	err := func() error {
+		for req.Time >= sh.nextBoundary {
+			if err := sh.closePeriod(); err != nil {
+				return err
+			}
+		}
+		sh.serve(req)
+		return nil
+	}()
+	due := sh.ckptDue
+	sh.ckptDue = false
+	sh.mu.Unlock()
+	if due && err == nil {
+		sh.srv.cadenceCheckpoint()
+	}
+	return err
+}
+
+// FinishTo closes every period boundary at or before t. The daemon
+// calls it when a stream ends (with the trace's duration) or on a
+// clock tick during idle stretches, so decisions keep flowing without
+// traffic.
+func (sh *Shard) FinishTo(t simtime.Seconds) error {
+	sh.mu.Lock()
+	err := func() error {
+		for t >= sh.nextBoundary {
+			if err := sh.closePeriod(); err != nil {
+				return err
+			}
+		}
+		return nil
+	}()
+	due := sh.ckptDue
+	sh.ckptDue = false
+	sh.mu.Unlock()
+	if due && err == nil {
+		sh.srv.cadenceCheckpoint()
+	}
+	return err
+}
+
+// serve references each page of the request, logging depths and
+// predicting the disk traffic the request causes at the currently
+// applied memory size: a page hits iff its stack depth is within the
+// chosen resident capacity (Mattson's inclusion property), and
+// consecutive missing pages coalesce into one disk request, mirroring
+// the simulator's run coalescing.
+func (sh *Shard) serve(req trace.Request) {
+	var runStart, runLen int64 = -1, 0
+	flush := func() {
+		if runLen > 0 {
+			sh.reqRuns++
+			runStart, runLen = -1, 0
+		}
+	}
+	for k := int32(0); k < req.Pages; k++ {
+		page := req.FirstPage + int64(k)
+		sh.cacheAcc++
+		depth := sh.stack.Reference(page)
+		sh.periodLog = append(sh.periodLog, lrusim.DepthRecord{Time: req.Time, Page: page, Depth: depth, Bytes: sh.pageSize})
+		hit := depth != lrusim.Cold && int64(depth) <= sh.curPages
+		if hit {
+			flush()
+			continue
+		}
+		sh.misses++
+		if runLen > 0 && page == runStart+runLen {
+			runLen++
+		} else {
+			flush()
+			runStart, runLen = page, 1
+		}
+	}
+	flush()
+	sh.consumed++
+}
+
+// closePeriod ends the current period: during warmup the manager's held
+// default is republished; afterwards the manager decides from the period
+// log under the server's decide semaphore. Called with sh.mu held.
+func (sh *Shard) closePeriod() error {
+	idx := sh.periodIdx + 1
+	if sh.srv.cfg.Injector.CrashAtPeriodBoundary(idx) {
+		return ErrCrashInjected
+	}
+	end := sh.nextBoundary
+	start := end - sh.period
+
+	var dec core.Decision
+	if idx > int64(sh.srv.cfg.WarmupPeriods) {
+		coalesce := 1.0
+		if sh.reqRuns > 0 {
+			coalesce = float64(sh.misses) / float64(sh.reqRuns)
+		}
+		obs := core.Observation{
+			Log:            sh.periodLog,
+			CacheAccesses:  sh.cacheAcc,
+			CoalesceFactor: coalesce,
+			PeriodStart:    start,
+			PeriodEnd:      end,
+			CurrentBanks:   sh.curBanks,
+		}
+		sh.srv.acquire()
+		dec = sh.mgr.Decide(obs)
+		sh.srv.release()
+		sh.curBanks = dec.Banks
+		sh.curPages = dec.Pages
+	} else {
+		dec = sh.mgr.Last()
+	}
+
+	sh.periodLog = sh.periodLog[:0]
+	sh.cacheAcc = 0
+	sh.misses = 0
+	sh.reqRuns = 0
+	sh.periodIdx = idx
+	sh.nextBoundary += sh.period
+
+	sh.srv.publish(Decision{Disk: sh.name, Period: idx, Decision: dec})
+	if every := sh.srv.cfg.SnapshotEvery; every > 0 && sh.srv.cfg.SnapshotPath != "" && idx%every == 0 {
+		sh.ckptDue = true
+	}
+	return nil
+}
+
+// state captures the shard's snapshot payload. Called with sh.mu held.
+func (sh *Shard) state() shardState {
+	refs, colds := sh.stack.Counters()
+	st := shardState{
+		Name:         sh.name,
+		PeriodIdx:    sh.periodIdx,
+		Consumed:     sh.consumed,
+		NextBoundary: float64(sh.nextBoundary),
+		CurBanks:     int64(sh.curBanks),
+		CurPages:     sh.curPages,
+		Core:         sh.mgr.Snapshot(),
+		StackPages:   sh.stack.SnapshotPages(),
+		StackRefs:    refs,
+		StackColds:   colds,
+		CacheAcc:     sh.cacheAcc,
+		Misses:       sh.misses,
+		ReqRuns:      sh.reqRuns,
+	}
+	st.Log = make([]logRecord, len(sh.periodLog))
+	for i, r := range sh.periodLog {
+		st.Log[i] = logRecord{
+			Time:  float64(r.Time),
+			Page:  r.Page,
+			Depth: int64(r.Depth),
+			Bytes: int64(r.Bytes),
+		}
+	}
+	return st
+}
+
+// restore rehydrates the shard from a snapshot payload. Called before
+// the shard starts ingesting.
+func (sh *Shard) restore(st shardState) error {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if st.PeriodIdx < 0 || st.Consumed < 0 || st.CacheAcc < 0 || st.Misses < 0 || st.ReqRuns < 0 {
+		return fmt.Errorf("serve: shard %s: negative counters in snapshot", st.Name)
+	}
+	if !(simtime.Seconds(st.NextBoundary) > 0) {
+		return fmt.Errorf("serve: shard %s: invalid period boundary %g", st.Name, st.NextBoundary)
+	}
+	if err := sh.mgr.Restore(st.Core); err != nil {
+		return fmt.Errorf("serve: shard %s: %w", st.Name, err)
+	}
+	sh.stack = lrusim.RestoreStackSim(int(sh.srv.installedPages), st.StackPages, st.StackRefs, st.StackColds)
+	sh.periodIdx = st.PeriodIdx
+	sh.consumed = st.Consumed
+	sh.nextBoundary = simtime.Seconds(st.NextBoundary)
+	sh.curBanks = int(st.CurBanks)
+	sh.curPages = st.CurPages
+	sh.cacheAcc = st.CacheAcc
+	sh.misses = st.Misses
+	sh.reqRuns = st.ReqRuns
+	sh.periodLog = sh.periodLog[:0]
+	for _, r := range st.Log {
+		sh.periodLog = append(sh.periodLog, lrusim.DepthRecord{
+			Time:  simtime.Seconds(r.Time),
+			Page:  r.Page,
+			Depth: int(r.Depth),
+			Bytes: simtime.Bytes(r.Bytes),
+		})
+	}
+	return nil
+}

@@ -1,0 +1,78 @@
+package shutdown
+
+import (
+	"errors"
+	"sync"
+	"syscall"
+	"testing"
+)
+
+func TestRunLIFOOnce(t *testing.T) {
+	s := NewStack("test")
+	var order []int
+	s.Defer(func() error { order = append(order, 1); return nil })
+	s.Defer(func() error { order = append(order, 2); return errors.New("two") })
+	s.Defer(func() error { order = append(order, 3); return errors.New("three") })
+	err := s.Run()
+	if err == nil || err.Error() != "three" {
+		t.Fatalf("Run err = %v, want first (newest) error", err)
+	}
+	if len(order) != 3 || order[0] != 3 || order[1] != 2 || order[2] != 1 {
+		t.Fatalf("run order = %v, want [3 2 1]", order)
+	}
+	if err := s.Run(); err != nil {
+		t.Fatalf("second Run = %v, want nil no-op", err)
+	}
+	if len(order) != 3 {
+		t.Fatal("second Run re-executed cleanups")
+	}
+}
+
+func TestDeferAfterRunExecutesImmediately(t *testing.T) {
+	s := NewStack("test")
+	s.Run()
+	ran := false
+	s.Defer(func() error { ran = true; return nil })
+	if !ran {
+		t.Fatal("late Defer was dropped")
+	}
+}
+
+// TestConcurrentRun races the two shutdown paths; each cleanup must run
+// exactly once.
+func TestConcurrentRun(t *testing.T) {
+	for iter := 0; iter < 100; iter++ {
+		s := NewStack("test")
+		var mu sync.Mutex
+		count := 0
+		for i := 0; i < 5; i++ {
+			s.Defer(func() error {
+				mu.Lock()
+				count++
+				mu.Unlock()
+				return nil
+			})
+		}
+		var wg sync.WaitGroup
+		for g := 0; g < 2; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				s.Run()
+			}()
+		}
+		wg.Wait()
+		if count != 5 {
+			t.Fatalf("cleanups ran %d times, want 5", count)
+		}
+	}
+}
+
+func TestExitCode(t *testing.T) {
+	if got := ExitCode(syscall.SIGTERM); got != 143 {
+		t.Errorf("SIGTERM exit code = %d, want 143", got)
+	}
+	if got := ExitCode(syscall.SIGINT); got != 130 {
+		t.Errorf("SIGINT exit code = %d, want 130", got)
+	}
+}

@@ -333,52 +333,7 @@ func newEngine(cfg Config) (*engine, error) {
 
 // mergeJointParams overlays non-zero fields of o onto base.
 func mergeJointParams(base, o core.Params) core.Params {
-	if o.Period > 0 {
-		base.Period = o.Period
-	}
-	if o.Window > 0 {
-		base.Window = o.Window
-	}
-	if o.UtilCap > 0 {
-		base.UtilCap = o.UtilCap
-	}
-	if o.DelayCap > 0 {
-		base.DelayCap = o.DelayCap
-	}
-	if o.LongLatency > 0 {
-		base.LongLatency = o.LongLatency
-	}
-	if o.EnumUnit > 0 {
-		base.EnumUnit = o.EnumUnit
-	}
-	if o.MinBanks > 0 {
-		base.MinBanks = o.MinBanks
-	}
-	if o.MaxCandidatesPerPass > 0 {
-		base.MaxCandidatesPerPass = o.MaxCandidatesPerPass
-	}
-	if o.EvalWorkers > 0 {
-		base.EvalWorkers = o.EvalWorkers
-	}
-	if o.SequentialReplay {
-		base.SequentialReplay = true
-	}
-	if o.FixedTimeout {
-		base.FixedTimeout = true
-	}
-	if o.NoConstraintFloor {
-		base.NoConstraintFloor = true
-	}
-	if o.HysteresisFrac != 0 {
-		base.HysteresisFrac = o.HysteresisFrac
-	}
-	if o.Metrics != nil {
-		base.Metrics = o.Metrics
-	}
-	if o.DecisionTrace != nil {
-		base.DecisionTrace = o.DecisionTrace
-	}
-	return base
+	return core.MergeParams(base, o)
 }
 
 func (e *engine) run() (*Result, error) {

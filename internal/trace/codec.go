@@ -65,79 +65,30 @@ func WriteBinary(w io.Writer, t *Trace) error {
 	return bw.Flush()
 }
 
-// ReadBinary decodes a trace previously written by WriteBinary.
+// ReadBinary decodes a trace previously written by WriteBinary. It is a
+// thin collector over StreamReader, so batch and streaming decoding
+// accept and reject inputs identically.
 func ReadBinary(r io.Reader) (*Trace, error) {
-	br := bufio.NewReader(r)
-	magic := make([]byte, 4)
-	if _, err := io.ReadFull(br, magic); err != nil {
-		return nil, fmt.Errorf("trace: reading magic: %w", err)
-	}
-	if string(magic) != binaryMagic {
-		return nil, errors.New("trace: bad magic, not a binary trace")
-	}
-	ver, err := br.ReadByte()
+	sr, err := NewStreamReader(r)
 	if err != nil {
 		return nil, err
 	}
-	if ver != binaryVersion {
-		return nil, fmt.Errorf("trace: unsupported version %d", ver)
+	t := sr.Header()
+	prealloc := sr.Count()
+	if prealloc > maxPrealloc {
+		prealloc = maxPrealloc
 	}
-	getUv := func() (uint64, error) { return binary.ReadUvarint(br) }
-	var t Trace
-	v, err := getUv()
-	if err != nil {
-		return nil, err
-	}
-	t.PageSize = simtime.Bytes(v)
-	if v, err = getUv(); err != nil {
-		return nil, err
-	}
-	t.DataSetBytes = simtime.Bytes(v)
-	if v, err = getUv(); err != nil {
-		return nil, err
-	}
-	t.DataSetPages = int64(v)
-	if v, err = getUv(); err != nil {
-		return nil, err
-	}
-	t.Files = int32(v)
-	if v, err = getUv(); err != nil {
-		return nil, err
-	}
-	t.Duration = fromUsec(v)
-	count, err := getUv()
-	if err != nil {
-		return nil, err
-	}
-	t.Requests = make([]Request, 0, count)
-	prev := uint64(0)
-	for i := uint64(0); i < count; i++ {
-		var req Request
-		d, err := getUv()
+	t.Requests = make([]Request, 0, prealloc)
+	for {
+		req, err := sr.Next()
+		if err == io.EOF {
+			return &t, nil
+		}
 		if err != nil {
-			return nil, fmt.Errorf("trace: request %d: %w", i, err)
-		}
-		prev += d
-		req.Time = fromUsec(prev)
-		if v, err = getUv(); err != nil {
 			return nil, err
 		}
-		req.File = int32(v)
-		if v, err = getUv(); err != nil {
-			return nil, err
-		}
-		req.FirstPage = int64(v)
-		if v, err = getUv(); err != nil {
-			return nil, err
-		}
-		req.Pages = int32(v)
-		if v, err = getUv(); err != nil {
-			return nil, err
-		}
-		req.Bytes = simtime.Bytes(v)
 		t.Requests = append(t.Requests, req)
 	}
-	return &t, nil
 }
 
 func usec(s simtime.Seconds) uint64 {
@@ -166,58 +117,25 @@ func WriteText(w io.Writer, t *Trace) error {
 	return bw.Flush()
 }
 
-// ReadText decodes a trace written by WriteText.
+// ReadText decodes a trace written by WriteText. It is a thin collector
+// over TextStreamReader, so batch and streaming decoding accept and
+// reject inputs identically.
 func ReadText(r io.Reader) (*Trace, error) {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 1<<20), 1<<20)
-	var t Trace
-	haveHeader := false
-	line := 0
-	for sc.Scan() {
-		line++
-		text := strings.TrimSpace(sc.Text())
-		if text == "" {
-			continue
-		}
-		if strings.HasPrefix(text, "#") {
-			if !haveHeader && strings.Contains(text, "pagesize=") {
-				if err := parseTextHeader(text, &t); err != nil {
-					return nil, fmt.Errorf("trace: line %d: %w", line, err)
-				}
-				haveHeader = true
-			}
-			continue
-		}
-		if !haveHeader {
-			return nil, fmt.Errorf("trace: line %d: data before header", line)
-		}
-		f := strings.Fields(text)
-		if len(f) != 5 {
-			return nil, fmt.Errorf("trace: line %d: want 5 fields, got %d", line, len(f))
-		}
-		vals := make([]int64, 5)
-		for i, s := range f {
-			v, err := strconv.ParseInt(s, 10, 64)
-			if err != nil {
-				return nil, fmt.Errorf("trace: line %d field %d: %w", line, i, err)
-			}
-			vals[i] = v
-		}
-		t.Requests = append(t.Requests, Request{
-			Time:      fromUsec(uint64(vals[0])),
-			File:      int32(vals[1]),
-			FirstPage: vals[2],
-			Pages:     int32(vals[3]),
-			Bytes:     simtime.Bytes(vals[4]),
-		})
-	}
-	if err := sc.Err(); err != nil {
+	sr, err := NewTextStreamReader(r)
+	if err != nil {
 		return nil, err
 	}
-	if !haveHeader {
-		return nil, errors.New("trace: missing header line")
+	t := sr.Header()
+	for {
+		req, err := sr.Next()
+		if err == io.EOF {
+			return &t, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		t.Requests = append(t.Requests, req)
 	}
-	return &t, nil
 }
 
 func parseTextHeader(text string, t *Trace) error {

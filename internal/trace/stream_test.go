@@ -1,0 +1,305 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// collectBinary drains a binary stream into a batch-shaped result.
+func collectBinary(data []byte) (*Trace, error) {
+	sr, err := NewStreamReader(bytes.NewReader(data))
+	if err != nil {
+		return nil, err
+	}
+	t := sr.Header()
+	for {
+		req, err := sr.Next()
+		if err == io.EOF {
+			return &t, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		t.Requests = append(t.Requests, req)
+	}
+}
+
+func collectText(data []byte) (*Trace, error) {
+	sr, err := NewTextStreamReader(bytes.NewReader(data))
+	if err != nil {
+		return nil, err
+	}
+	t := sr.Header()
+	for {
+		req, err := sr.Next()
+		if err == io.EOF {
+			return &t, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		t.Requests = append(t.Requests, req)
+	}
+}
+
+// binaryCorpus reproduces the FuzzReadBinary seed corpus plus any
+// crashers checked into testdata/fuzz, so the differential property is
+// tested on exactly the inputs the fuzzer starts from.
+func binaryCorpus(t testing.TB) [][]byte {
+	tr := sampleTrace()
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	corpus := [][]byte{
+		buf.Bytes(),
+		[]byte("JPMT"),
+		[]byte("JPMT\x01"),
+		{},
+		[]byte("garbage that is not a trace"),
+		buf.Bytes()[:2],
+		buf.Bytes()[:6],
+		buf.Bytes()[:10],
+		buf.Bytes()[:len(buf.Bytes())-3],
+	}
+	zl := sampleTrace()
+	zl.Requests[1].Pages = 0
+	zl.Requests[1].Bytes = 0
+	var zbuf bytes.Buffer
+	if err := WriteBinary(&zbuf, zl); err != nil {
+		t.Fatal(err)
+	}
+	corpus = append(corpus, zbuf.Bytes())
+	corpus = append(corpus, diskCorpus(t, "FuzzReadBinary")...)
+	return corpus
+}
+
+func textCorpus(t testing.TB) [][]byte {
+	tr := sampleTrace()
+	var buf bytes.Buffer
+	if err := WriteText(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	corpus := [][]byte{
+		buf.Bytes(),
+		[]byte("# jointpm trace pagesize=4096 datasetbytes=1 datasetpages=4 files=1 duration_us=1\n1 0 0 1 10\n"),
+		{},
+		[]byte("1 2 3 4 5"),
+		[]byte("# jointpm trace pagesize=4096 dataset"),
+		[]byte("# jointpm trace pagesize=4096 datasetbytes=16384 datasetpages=4 files=1 duration_us=1000000\n" +
+			"500000 0 0 1 4096\n100000 0 1 1 4096\n"),
+		[]byte("# jointpm trace pagesize=4096 datasetbytes=16384 datasetpages=4 files=1 duration_us=1000000\n" +
+			"100 0 0 0 0\n"),
+	}
+	corpus = append(corpus, diskCorpus(t, "FuzzReadText")...)
+	return corpus
+}
+
+// diskCorpus loads any checked-in fuzz corpus files for the named fuzz
+// target (crashers found by past CI fuzz smokes land there).
+func diskCorpus(t testing.TB, target string) [][]byte {
+	dir := filepath.Join("testdata", "fuzz", target)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil
+	}
+	var out [][]byte
+	for _, e := range entries {
+		b, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, b)
+	}
+	return out
+}
+
+// TestStreamReaderMatchesBatchBinary: over the binary fuzz corpus (and a
+// spray of mutated variants), the streaming reader must accept/reject
+// every input identically to ReadBinary — same error text, same decoded
+// requests.
+func TestStreamReaderMatchesBatchBinary(t *testing.T) {
+	inputs := binaryCorpus(t)
+	rng := rand.New(rand.NewSource(1))
+	for _, base := range inputs {
+		for k := 0; k < 32; k++ {
+			m := append([]byte(nil), base...)
+			if len(m) > 0 {
+				switch k % 3 {
+				case 0:
+					m[rng.Intn(len(m))] ^= byte(1 << uint(rng.Intn(8)))
+				case 1:
+					m = m[:rng.Intn(len(m))]
+				case 2:
+					m = append(m, byte(rng.Intn(256)))
+				}
+			}
+			inputs = append(inputs, m)
+		}
+	}
+	for i, data := range inputs {
+		batch, batchErr := ReadBinary(bytes.NewReader(data))
+		stream, streamErr := collectBinary(data)
+		assertSameOutcome(t, i, data, batch, batchErr, stream, streamErr)
+	}
+}
+
+// TestStreamReaderMatchesBatchText is the same property for the text
+// codec.
+func TestStreamReaderMatchesBatchText(t *testing.T) {
+	inputs := textCorpus(t)
+	rng := rand.New(rand.NewSource(2))
+	for _, base := range inputs {
+		for k := 0; k < 32; k++ {
+			m := append([]byte(nil), base...)
+			if len(m) > 0 {
+				switch k % 3 {
+				case 0:
+					m[rng.Intn(len(m))] ^= byte(1 << uint(rng.Intn(8)))
+				case 1:
+					m = m[:rng.Intn(len(m))]
+				case 2:
+					m = append(m, "0123456789 \n#="[rng.Intn(14)])
+				}
+			}
+			inputs = append(inputs, m)
+		}
+	}
+	for i, data := range inputs {
+		batch, batchErr := ReadText(bytes.NewReader(data))
+		stream, streamErr := collectText(data)
+		assertSameOutcome(t, i, data, batch, batchErr, stream, streamErr)
+	}
+}
+
+func assertSameOutcome(t *testing.T, i int, data []byte, batch *Trace, batchErr error, stream *Trace, streamErr error) {
+	t.Helper()
+	if (batchErr == nil) != (streamErr == nil) {
+		t.Fatalf("input %d (%q): batch err %v, stream err %v", i, truncate(data), batchErr, streamErr)
+	}
+	if batchErr != nil {
+		if batchErr.Error() != streamErr.Error() {
+			t.Fatalf("input %d (%q): batch err %q, stream err %q", i, truncate(data), batchErr, streamErr)
+		}
+		return
+	}
+	if !reflect.DeepEqual(normalize(batch), normalize(stream)) {
+		t.Fatalf("input %d (%q): decoded traces differ:\nbatch:  %+v\nstream: %+v", i, truncate(data), batch, stream)
+	}
+}
+
+// normalize maps a nil and an empty request slice to the same shape (the
+// collectors differ only in preallocation).
+func normalize(tr *Trace) Trace {
+	c := *tr
+	if len(c.Requests) == 0 {
+		c.Requests = nil
+	} else {
+		c.Requests = append([]Request(nil), c.Requests...)
+	}
+	return c
+}
+
+func truncate(b []byte) []byte {
+	if len(b) > 64 {
+		return b[:64]
+	}
+	return b
+}
+
+// TestStreamReaderIncremental proves the binary stream reader yields
+// requests before the stream ends: requests written into one end of a
+// pipe surface from Next while the writer still holds the pipe open.
+func TestStreamReaderIncremental(t *testing.T) {
+	tr := sampleTrace()
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+
+	pr, pw := io.Pipe()
+	defer pw.Close()
+	// Feed the header plus the first record, then wait for a pull.
+	fed := make(chan struct{})
+	go func() {
+		// The header ends where the first record starts; conservatively
+		// feed all but the final record's bytes, forcing at least the
+		// last Next to block until the remainder arrives.
+		cut := len(full) - 4
+		pw.Write(full[:cut])
+		<-fed
+		pw.Write(full[cut:])
+		pw.Close()
+	}()
+
+	sr, err := NewStreamReader(pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sr.Header(); got.PageSize != tr.PageSize || got.DataSetPages != tr.DataSetPages {
+		t.Fatalf("header mismatch: %+v", got)
+	}
+	var got []Request
+	for i := 0; i < len(tr.Requests)-1; i++ {
+		req, err := sr.Next()
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+		got = append(got, req)
+	}
+	close(fed) // release the tail, then drain
+	for {
+		req, err := sr.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, req)
+	}
+	if !reflect.DeepEqual(got, tr.Requests) {
+		t.Fatalf("streamed requests differ from source:\ngot  %+v\nwant %+v", got, tr.Requests)
+	}
+}
+
+// TestSniffStream detects both codecs from the first bytes.
+func TestSniffStream(t *testing.T) {
+	tr := sampleTrace()
+	var bin, txt bytes.Buffer
+	if err := WriteBinary(&bin, tr); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteText(&txt, tr); err != nil {
+		t.Fatal(err)
+	}
+	for name, data := range map[string][]byte{"binary": bin.Bytes(), "text": txt.Bytes()} {
+		st, err := SniffStream(bytes.NewReader(data))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if st.Header().PageSize != tr.PageSize {
+			t.Fatalf("%s: header page size %v", name, st.Header().PageSize)
+		}
+		n := 0
+		for {
+			if _, err := st.Next(); err != nil {
+				if !errors.Is(err, io.EOF) {
+					t.Fatalf("%s: %v", name, err)
+				}
+				break
+			}
+			n++
+		}
+		if n != len(tr.Requests) {
+			t.Fatalf("%s: streamed %d of %d requests", name, n, len(tr.Requests))
+		}
+	}
+}
