@@ -36,6 +36,7 @@ import (
 	"sync"
 	"time"
 
+	"jointpm/internal/core"
 	"jointpm/internal/fault"
 	"jointpm/internal/obs"
 	"jointpm/internal/serve"
@@ -66,6 +67,7 @@ func run() (retErr error) {
 		faultsPath    = flag.String("faults", "", "fault plan JSON (supports daemon.crash_at_period)")
 		metricsAddr   = flag.String("metrics-addr", "", "serve /metrics and /debug/vars on this address")
 		decTrace      = flag.String("decision-trace", "", "append one JSON line per joint decision to this file")
+		decideMode    = flag.String("decide", "incremental", "observation path per shard: batch or incremental (bit-identical decisions)")
 	)
 	flag.Parse()
 
@@ -95,7 +97,12 @@ func run() (retErr error) {
 	stopSignals := shut.HandleSignals()
 	defer stopSignals()
 
+	mode, err := core.ParseDecideMode(*decideMode)
+	if err != nil {
+		return err
+	}
 	cfg := serve.Config{
+		Decide:        mode,
 		PageSize:      pageSize,
 		BankSize:      bankSize,
 		InstalledMem:  installed,

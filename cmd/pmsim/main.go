@@ -49,6 +49,7 @@ func run() (retErr error) {
 		metricsAddr   = flag.String("metrics-addr", "", "serve /metrics and /debug/vars on this address while running")
 		metricsLinger = flag.Duration("metrics-linger", 0, "keep serving metrics this long after the run finishes")
 		decTrace      = flag.String("decision-trace", "", "append one JSON line per joint decision to this file")
+		decideMode    = flag.String("decide", "incremental", "joint observation path: batch or incremental (bit-identical decisions)")
 		faultsPath    = flag.String("faults", "", "JSON fault plan: run under injected faults and check invariants")
 		faultSeed     = flag.Uint64("fault-seed", 1, "seed for the -faults injector")
 		cpuprofile    = flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -137,9 +138,14 @@ func run() (retErr error) {
 		return nil
 	})
 
+	mode, err := core.ParseDecideMode(*decideMode)
+	if err != nil {
+		return err
+	}
 	cfg := sim.Config{
 		Trace:         tr,
 		Method:        m,
+		Decide:        mode,
 		InstalledMem:  installed,
 		BankSize:      bankSize,
 		Period:        simtime.Seconds(*period),

@@ -17,10 +17,6 @@ package core
 import (
 	"fmt"
 	"math"
-	"runtime"
-	"sort"
-	"sync"
-	"sync/atomic"
 
 	"jointpm/internal/disk"
 	"jointpm/internal/lrusim"
@@ -53,10 +49,20 @@ type Params struct {
 	// replaying the log for thousands of sizes.
 	MaxCandidatesPerPass int
 
-	// EvalWorkers bounds the worker pool that prices one refinement
-	// pass's candidates in parallel (Pareto fit, timeout choice, queueing
-	// and energy arithmetic). 0 means GOMAXPROCS; 1 prices serially.
+	// EvalWorkers is retained for configuration compatibility. The slate
+	// kernel now folds per-candidate statistics during the sweep itself,
+	// so there is no per-candidate pricing fan-out left to parallelise;
+	// the field is ignored.
 	EvalWorkers int
+
+	// RefitDriftFrac enables the incremental path's steady-state
+	// shortcut: when positive, DecideIncremental first re-prices only the
+	// previously chosen size and, if its estimated total power moved by
+	// less than this fraction since the last full search, keeps that size
+	// (with the fresh period's re-fitted timeout) without re-running the
+	// slate search. Zero (the default) disables the shortcut, keeping
+	// DecideIncremental bit-identical to batch Decide.
+	RefitDriftFrac float64
 
 	// SequentialReplay restores the pre-sweep evaluation path — one full
 	// log replay per candidate size instead of the shared multi-threshold
@@ -215,11 +221,17 @@ type Decision struct {
 }
 
 // Manager evaluates observations into decisions. It is deterministic and
-// stateless between periods apart from remembering its last decision.
+// stateless between periods apart from remembering its last decision and,
+// on the incremental path, the depth histogram accumulated by Ingest. A
+// Manager owns reusable decision scratch and must not be driven from
+// multiple goroutines concurrently.
 type Manager struct {
 	p    Params
 	last Decision
 	met  coreMetrics
+
+	hist    *lrusim.DepthHist // incremental observation state; nil until Ingest
+	scratch decideScratch
 }
 
 // NewManager validates params and creates a manager whose initial
@@ -245,175 +257,20 @@ func (m *Manager) Params() Params { return m.p }
 func (m *Manager) Last() Decision { return m.last }
 
 // Decide evaluates one period's observation and returns the sizing and
-// timeout for the next period.
+// timeout for the next period. One fused pass over the log reduces it to
+// the kernel's input form (depth profile, compressed event stream); the
+// search itself is shared with DecideIncremental (see decideFrom).
 func (m *Manager) Decide(obs Observation) Decision {
 	m.met.decisions.Inc()
 	if len(obs.Log) == 0 || obs.CacheAccesses == 0 {
 		// Nothing happened: the cheapest configuration is the smallest
 		// cache with the disk allowed to sleep through the whole period.
-		d := Decision{
-			Banks:   m.p.MinBanks,
-			Pages:   int64(m.p.MinBanks) * m.p.bankPages(),
-			Timeout: m.p.DiskSpec.BreakEven(),
-		}
-		m.last = d
-		m.met.emptyDecisions.Inc()
-		m.recordDecision(d)
-		if m.p.DecisionTrace.Enabled() {
-			m.emitEmptyTrace(obs, d)
-		}
-		return d
+		return m.emptyDecision(obs, len(obs.Log))
 	}
 	if obs.CoalesceFactor < 1 {
 		obs.CoalesceFactor = 1
 	}
-
-	// Sizes beyond the deepest observed hit depth cannot remove further
-	// misses; enumerate only up to one unit past it ("the size causing
-	// different disk IOs", Section IV-B).
-	maxDepth := int64(0)
-	for i := range obs.Log {
-		if d := obs.Log[i].Depth; d != lrusim.Cold && int64(d) > maxDepth {
-			maxDepth = int64(d)
-		}
-	}
-	unitBanks := int(m.p.EnumUnit / m.p.BankSize)
-	usefulBanks := int((maxDepth + m.p.bankPages() - 1) / m.p.bankPages())
-	hiBanks := usefulBanks + unitBanks
-	if hiBanks > m.p.TotalBanks {
-		hiBanks = m.p.TotalBanks
-	}
-	if hiBanks < m.p.MinBanks {
-		hiBanks = m.p.MinBanks
-	}
-
-	prof := buildDepthProfile(obs.Log, m.p.bankPages(), m.p.TotalBanks)
-
-	// Coarse-to-fine search at EnumUnit granularity. The energy curve is
-	// evaluated on a shrinking grid around the best point; each pass costs
-	// one multi-threshold sweep of the log for its whole candidate slate
-	// (or one replay per candidate under the SequentialReplay ablation).
-	lo, hi := m.p.MinBanks, hiBanks
-	var best Candidate
-	bestSet := false
-	evaluated := 0
-	seen := map[int]bool{}
-	var all []Candidate
-	var slate []int
-	for {
-		span := hi - lo
-		stepBanks := unitBanks
-		if per := m.p.MaxCandidatesPerPass; span/stepBanks+1 > per {
-			stepBanks = span / (per - 1)
-			// Round the step to the enumeration grid.
-			stepBanks -= stepBanks % unitBanks
-			if stepBanks < unitBanks {
-				stepBanks = unitBanks
-			}
-		}
-		slate = slate[:0]
-		for b := lo; ; b += stepBanks {
-			if b > hi {
-				b = hi
-			}
-			if !seen[b] {
-				seen[b] = true
-				slate = append(slate, b)
-			}
-			if b == hi {
-				break
-			}
-		}
-		for _, c := range m.evaluateSlate(obs, slate, prof) {
-			all = append(all, c)
-			evaluated++
-			if !bestSet || better(c, best) {
-				best, bestSet = c, true
-			}
-		}
-		if stepBanks <= unitBanks {
-			break
-		}
-		// Narrow to one step either side of the incumbent.
-		lo = best.Banks - stepBanks
-		hi = best.Banks + stepBanks
-		if lo < m.p.MinBanks {
-			lo = m.p.MinBanks
-		}
-		if hi > hiBanks {
-			hi = hiBanks
-		}
-	}
-
-	// Hysteresis: stay at the previous size unless the winner is a real
-	// improvement over it, not estimate noise.
-	held := false
-	if h := m.p.HysteresisFrac; h >= 0 && best.Banks != m.last.Banks && m.last.Banks > 0 {
-		if h == 0 {
-			h = 0.05
-		}
-		prevBanks := m.last.Banks
-		if prevBanks < m.p.MinBanks {
-			prevBanks = m.p.MinBanks
-		}
-		if prevBanks > m.p.TotalBanks {
-			prevBanks = m.p.TotalBanks
-		}
-		var prev Candidate
-		if seen[prevBanks] {
-			for i := range all {
-				if all[i].Banks == prevBanks {
-					prev = all[i]
-					break
-				}
-			}
-		} else {
-			prev = m.evaluate(obs, prevBanks, prof)
-			evaluated++
-			all = append(all, prev)
-		}
-		if prev.Feasible && best.Feasible &&
-			float64(best.TotalPower) > (1-h)*float64(prev.TotalPower) {
-			best = prev
-			held = true
-			m.met.hysteresis.Inc()
-		}
-	}
-
-	sort.Slice(all, func(i, j int) bool { return all[i].Banks < all[j].Banks })
-	d := Decision{
-		Banks:      best.Banks,
-		Pages:      best.Pages,
-		Timeout:    best.Timeout,
-		Chosen:     best,
-		Evaluated:  evaluated,
-		Candidates: all,
-	}
-	// Fallback ladder (graceful degradation): a winner whose Pareto fit
-	// degenerated despite predicted disk activity has a made-up timeout,
-	// and one whose pricing went non-finite won a garbage comparison.
-	// Neither is worth acting on — hold the previous period's (m, t_o)
-	// instead. Before any history exists, m.last is NewManager's safe
-	// default: every bank enabled with the 2-competitive t_be timeout.
-	//
-	// A degenerate fit with zero predicted accesses is NOT degradation:
-	// an over-provisioned cache legitimately leaves the whole period as
-	// one idle interval, the sizing never consulted the tail, and the
-	// 2-competitive t_be the candidate already carries is the honest
-	// timeout for a disk with no observed idle structure.
-	if (!best.FitOK && best.DiskAccesses > 0) || !finitePower(best) {
-		d.Banks = m.last.Banks
-		d.Pages = m.last.Pages
-		d.Timeout = m.last.Timeout
-		d.Fallback = true
-		m.met.fallbacks.Inc()
-	}
-	m.last = d
-	m.recordDecision(d)
-	if m.p.DecisionTrace.Enabled() {
-		m.emitTrace(obs, d, held)
-	}
-	return d
+	return m.decideFrom(m.buildInput(&obs))
 }
 
 // depthProfile is the per-decision aggregation of a period log: bytes of
@@ -429,43 +286,85 @@ func (m *Manager) Decide(obs Observation) Decision {
 //     references are shallow re-touches that would hit after the
 //     refill).
 type depthProfile struct {
-	bankPages int64
-	cold      simtime.Bytes
-	total     simtime.Bytes   // all non-cold reference bytes
-	cumTotal  []simtime.Bytes // cumTotal[b]: non-cold bytes at depth ≤ b banks
-	cumFirst  []simtime.Bytes // cumFirst[b]: first-access bytes at depth ≤ b banks
+	bankPages    int64
+	cold         simtime.Bytes
+	coldCount    int64
+	total        simtime.Bytes // all non-cold reference bytes
+	nonColdCount int64
+	cumTotal     []simtime.Bytes // cumTotal[b]: non-cold bytes at depth ≤ b banks
+	cumFirst     []simtime.Bytes // cumFirst[b]: first-access bytes at depth ≤ b banks
+	// cumCount[b]: non-cold references at depth ≤ b banks, with one extra
+	// deep bucket (maxBanks+1) so cumCount[maxBanks+1] == nonColdCount
+	// even when the stack tracks pages beyond the installed banks. It
+	// makes the per-candidate disk-access count an O(1) integer query.
+	cumCount []int64
+}
+
+// reset sizes the profile for a geometry and zeroes it, reusing capacity.
+func (p *depthProfile) reset(bankPages int64, maxBanks int) {
+	p.bankPages = bankPages
+	p.cold = 0
+	p.coldCount = 0
+	p.total = 0
+	p.nonColdCount = 0
+	if cap(p.cumTotal) < maxBanks+1 {
+		p.cumTotal = make([]simtime.Bytes, maxBanks+1)
+		p.cumFirst = make([]simtime.Bytes, maxBanks+1)
+		p.cumCount = make([]int64, maxBanks+2)
+	}
+	p.cumTotal = p.cumTotal[:maxBanks+1]
+	p.cumFirst = p.cumFirst[:maxBanks+1]
+	p.cumCount = p.cumCount[:maxBanks+2]
+	for i := range p.cumTotal {
+		p.cumTotal[i] = 0
+		p.cumFirst[i] = 0
+	}
+	for i := range p.cumCount {
+		p.cumCount[i] = 0
+	}
+}
+
+// finish turns the per-bucket tallies into prefix sums.
+func (p *depthProfile) finish() {
+	for b := 1; b < len(p.cumTotal); b++ {
+		p.cumTotal[b] += p.cumTotal[b-1]
+		p.cumFirst[b] += p.cumFirst[b-1]
+	}
+	for b := 1; b < len(p.cumCount); b++ {
+		p.cumCount[b] += p.cumCount[b-1]
+	}
 }
 
 func buildDepthProfile(log []lrusim.DepthRecord, bankPages int64, maxBanks int) *depthProfile {
-	p := &depthProfile{
-		bankPages: bankPages,
-		cumTotal:  make([]simtime.Bytes, maxBanks+1),
-		cumFirst:  make([]simtime.Bytes, maxBanks+1),
-	}
-	seen := pageSets.Get().(*pageSet)
+	p := &depthProfile{}
+	p.reset(bankPages, maxBanks)
+	var seen pageSet
 	seen.init(len(log))
 	for i := range log {
 		r := &log[i]
 		if r.Depth == lrusim.Cold {
 			p.cold += r.Bytes
+			p.coldCount++
 			seen.add(r.Page)
 			continue
 		}
 		b := (int64(r.Depth)-1)/bankPages + 1 // depth within the first b banks
-		if b > int64(maxBanks) {
-			b = int64(maxBanks)
+		cb := b
+		if cb > int64(maxBanks) {
+			cb = int64(maxBanks)
 		}
-		p.cumTotal[b] += r.Bytes
+		p.cumTotal[cb] += r.Bytes
 		p.total += r.Bytes
 		if seen.add(r.Page) {
-			p.cumFirst[b] += r.Bytes
+			p.cumFirst[cb] += r.Bytes
 		}
+		if b > int64(maxBanks)+1 {
+			b = int64(maxBanks) + 1
+		}
+		p.cumCount[b]++
+		p.nonColdCount++
 	}
-	pageSets.Put(seen)
-	for b := 1; b <= maxBanks; b++ {
-		p.cumTotal[b] += p.cumTotal[b-1]
-		p.cumFirst[b] += p.cumFirst[b-1]
-	}
+	p.finish()
 	return p
 }
 
@@ -474,13 +373,12 @@ func buildDepthProfile(log []lrusim.DepthRecord, bankPages int64, maxBanks int) 
 // map holds hundreds of thousands of pages per period, and its overflow
 // buckets alone account for most of a decision's allocations. Page
 // numbers are non-negative (the lrusim convention), so -1 marks an empty
-// slot. Instances are pooled; init sizes for a ≤50% load factor.
+// slot. The manager keeps one in its persistent scratch, re-initialised
+// (capacity reused) per decision; init sizes for a ≤50% load factor.
 type pageSet struct {
 	slots []int64
 	shift uint
 }
-
-var pageSets = sync.Pool{New: func() any { return new(pageSet) }}
 
 func (s *pageSet) init(n int) {
 	b := uint(4)
@@ -543,6 +441,19 @@ func (p *depthProfile) refillBytes(current, banks int) simtime.Bytes {
 	return p.cumFirst[clamp(banks)] - p.cumFirst[clamp(current)]
 }
 
+// diskAccesses returns the predicted page misses n_d at a capacity of
+// banks: every cold reference plus every non-cold reference deeper than
+// banks. Equals what replaying the log at that capacity would count.
+func (p *depthProfile) diskAccesses(banks int) int64 {
+	if banks > len(p.cumCount)-2 {
+		banks = len(p.cumCount) - 2
+	}
+	if banks < 0 {
+		banks = 0
+	}
+	return p.coldCount + p.nonColdCount - p.cumCount[banks]
+}
+
 // better orders candidates: feasibility first, then lower power, with a
 // small-memory tie-break ("smaller memory size should be chosen for the
 // same disk IO").
@@ -592,73 +503,28 @@ func (m *Manager) bounds(obs Observation) (start, end simtime.Seconds) {
 	return obs.PeriodStart, obs.PeriodEnd
 }
 
-// sweepers pools the multi-threshold sweepers (with their interval
-// buffers) shared across decisions and across concurrently running
-// managers; paper-scale sweeps would otherwise re-allocate tens of
-// megabytes of interval slices every period.
-var sweepers = sync.Pool{New: func() any { return new(lrusim.Sweeper) }}
-
 // evaluateSlate prices one refinement pass's candidate sizes (ascending)
-// through a single multi-threshold sweep of the log, then fans the
-// per-candidate valuation across a bounded worker pool. Under the
-// SequentialReplay ablation it replays the log once per candidate, which
-// is the paper's literal procedure and this package's original code path.
+// through the shared event-stream kernel (see evalSlate), building the
+// kernel input from the observation log. Decide itself builds the input
+// once and calls evalSlate directly; this wrapper serves callers holding
+// a raw observation — tests, and the hysteresis re-pricing path under
+// SequentialReplay.
 func (m *Manager) evaluateSlate(obs Observation, banks []int, prof *depthProfile) []Candidate {
 	if obs.CoalesceFactor < 1 {
 		obs.CoalesceFactor = 1
 	}
 	out := make([]Candidate, len(banks))
-	if m.p.SequentialReplay || len(banks) <= 1 {
+	if m.p.SequentialReplay {
 		for i, b := range banks {
 			out[i] = m.evaluate(obs, b, prof)
 		}
 		return out
 	}
-	if prof == nil {
-		prof = buildDepthProfile(obs.Log, m.p.bankPages(), m.p.TotalBanks)
+	in := m.buildInput(&obs)
+	if prof != nil {
+		in.prof = prof
 	}
-
-	bankPages := m.p.bankPages()
-	thresholds := make([]int64, len(banks))
-	for i, b := range banks {
-		thresholds[i] = int64(b) * bankPages
-	}
-	start, end := m.bounds(obs)
-	sw := sweepers.Get().(*lrusim.Sweeper)
-	intervals, nds := sw.Sweep(obs.Log, thresholds, m.p.Window, start, end)
-
-	workers := m.p.EvalWorkers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(banks) {
-		workers = len(banks)
-	}
-	if workers <= 1 {
-		for i, b := range banks {
-			out[i] = m.price(obs, b, prof, intervals[i], nds[i])
-		}
-	} else {
-		var next atomic.Int64
-		var wg sync.WaitGroup
-		wg.Add(workers)
-		for w := 0; w < workers; w++ {
-			go func() {
-				defer wg.Done()
-				for {
-					i := int(next.Add(1)) - 1
-					if i >= len(banks) {
-						return
-					}
-					out[i] = m.price(obs, banks[i], prof, intervals[i], nds[i])
-				}
-			}()
-		}
-		wg.Wait()
-	}
-	// The interval buffers are dead once every candidate is priced
-	// (nothing in Candidate aliases them), so the sweeper can be reused.
-	sweepers.Put(sw)
+	m.evalSlate(in, banks, out)
 	return out
 }
 
@@ -796,11 +662,19 @@ type TimeoutChoice struct {
 // cache accesses over a span of span seconds. The multi-disk extension
 // uses this directly, once per spindle.
 func (m *Manager) ChooseTimeout(intervals []float64, nd, cacheAccesses int64, span float64) TimeoutChoice {
+	fit, err := pareto.FitMoments(intervals, float64(m.p.Window))
+	return m.finishTimeout(fit, err, int64(len(intervals)), nd, cacheAccesses, span)
+}
+
+// finishTimeout is the fit-independent tail of the timeout analysis,
+// shared by ChooseTimeout (interval list) and chooseTimeoutStats
+// (streaming reductions) so both produce bit-identical choices: apply
+// eq. 5, derive the eq. 6 floor from the interval count ni, and clamp.
+func (m *Manager) finishTimeout(fit pareto.Dist, err error, ni, nd, cacheAccesses int64, span float64) TimeoutChoice {
 	p := m.p
 	spec := p.DiskSpec
 	tbe := float64(spec.BreakEven())
 	tc := TimeoutChoice{Timeout: simtime.Seconds(tbe), Unclamped: simtime.Seconds(tbe)}
-	fit, err := pareto.FitMoments(intervals, float64(p.Window))
 	if err != nil {
 		// Degenerate sample (empty, or mean not exceeding the scale):
 		// there is no Pareto tail to derive t_o from. The candidate keeps
@@ -825,7 +699,7 @@ func (m *Manager) ChooseTimeout(intervals []float64, nd, cacheAccesses int64, sp
 	delayPerTransition := (float64(spec.SpinUpTime) - float64(p.LongLatency)) * float64(nd) / span
 	if delayPerTransition > 0 && nd > 0 && !p.NoConstraintFloor {
 		x := p.DelayCap * float64(cacheAccesses) /
-			(float64(len(intervals)) * delayPerTransition)
+			(float64(ni) * delayPerTransition)
 		if x > 0 && x < 1 {
 			tc.Floor = simtime.Seconds(fit.Beta * math.Pow(x, -1/fit.Alpha))
 		}

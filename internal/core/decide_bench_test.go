@@ -37,6 +37,51 @@ func BenchmarkDecide(b *testing.B) {
 	}
 }
 
+// BenchmarkDecideIncremental measures the incremental hot path: the
+// references are streamed through Ingest once, outside the timed region
+// (in production that cost rides on request handling, spread across the
+// whole period — BenchmarkIngest prices it), so the measurement is
+// exactly what a period boundary costs: Fenwick prefix-sum
+// materialisation plus slate pricing over the finished gap log. The
+// timed body is DecideIncremental minus the end-of-period hist.Reset —
+// GapStream.Finish is idempotent, so the same ingested period can be
+// decided repeatedly.
+func BenchmarkDecideIncremental(b *testing.B) {
+	m, obs := benchDecideSetup(b, false)
+	for j := range obs.Log {
+		m.Ingest(obs.Log[j])
+	}
+	inc := Observation{
+		CacheAccesses:  obs.CacheAccesses,
+		CoalesceFactor: obs.CoalesceFactor,
+		PeriodStart:    obs.PeriodStart,
+		PeriodEnd:      obs.PeriodEnd,
+		CurrentBanks:   obs.CurrentBanks,
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		in := m.inputFromHist(&inc)
+		m.decideFrom(in)
+	}
+}
+
+// BenchmarkIngest measures the per-reference cost of the streaming
+// observation path: depth-histogram maintenance (Fenwick update) plus the
+// bank-space gap log. Reported per reference, it is the tax Ingest adds
+// to request handling so the period boundary can run in O(banks + gaps).
+func BenchmarkIngest(b *testing.B) {
+	m, obs := benchDecideSetup(b, false)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range obs.Log {
+			m.Ingest(obs.Log[j])
+		}
+		m.DiscardPeriod()
+	}
+}
+
 // BenchmarkDecideReplayReference is the retained pre-sweep reference: the
 // same decision computed by replaying the log once per candidate size,
 // serially. Compare ns/op and allocs/op against BenchmarkDecide.

@@ -135,11 +135,14 @@ func candidateSummary(c Candidate) obs.CandidateSummary {
 // winning candidate with its Pareto fit and eq. 6 floor, and the top-k
 // runner-ups ranked by the same ordering Decide used, each annotated
 // with why it lost. Callers guard with sink.Enabled() so the disabled
-// path allocates nothing.
-func (m *Manager) emitTrace(o Observation, d Decision, held bool) {
+// path allocates nothing. logLen is passed explicitly because the
+// incremental path has no materialised log — it reports the histogram's
+// reference count, which equals len(o.Log) on the batch path, keeping
+// traces byte-identical across modes.
+func (m *Manager) emitTrace(o Observation, logLen int, d Decision, held bool) {
 	rec := obs.DecisionRecord{
 		Observation: obs.ObservationSummary{
-			LogLen:         len(o.Log),
+			LogLen:         logLen,
 			CacheAccesses:  o.CacheAccesses,
 			CoalesceFactor: obs.Float(o.CoalesceFactor),
 			CurrentBanks:   o.CurrentBanks,
@@ -182,10 +185,10 @@ func (m *Manager) emitTrace(o Observation, d Decision, held bool) {
 }
 
 // emitEmptyTrace journals the degenerate "nothing happened" decision.
-func (m *Manager) emitEmptyTrace(o Observation, d Decision) {
+func (m *Manager) emitEmptyTrace(o Observation, logLen int, d Decision) {
 	m.p.DecisionTrace.Emit(obs.DecisionRecord{
 		Observation: obs.ObservationSummary{
-			LogLen:         len(o.Log),
+			LogLen:         logLen,
 			CacheAccesses:  o.CacheAccesses,
 			CoalesceFactor: obs.Float(o.CoalesceFactor),
 			CurrentBanks:   o.CurrentBanks,

@@ -111,6 +111,9 @@ func MergeParams(base, o Params) Params {
 	if o.EvalWorkers > 0 {
 		base.EvalWorkers = o.EvalWorkers
 	}
+	if o.RefitDriftFrac > 0 {
+		base.RefitDriftFrac = o.RefitDriftFrac
+	}
 	if o.SequentialReplay {
 		base.SequentialReplay = true
 	}

@@ -1,0 +1,59 @@
+package experiments
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"jointpm/internal/core"
+	"jointpm/internal/policy"
+	"jointpm/internal/sim"
+	"jointpm/internal/workload"
+)
+
+// TestIncrementalModeMatchesBatchOnFig7Set is the experiment-level half of
+// the incremental-Decide equivalence proof: across the Fig. 7 data-set
+// axis (base trace scaled ×1, ×2, ×4 by the synthesizer), the JOINT
+// method simulated with the incremental observation path must be
+// reflect.DeepEqual to the batch run — the streaming histogram is a pure
+// optimisation, invisible in every published number.
+func TestIncrementalModeMatchesBatchOnFig7Set(t *testing.T) {
+	s := quick()
+	r := newRunner(s, policy.Joint(s.InstalledMem))
+
+	rate := 100 * s.RateUnit
+	warmup := s.WarmupFor(4*s.Unit, rate)
+	base, err := s.GenerateBase(4*s.Unit, rate, 0.1, 3, warmup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	syn := workload.NewSynthesizer(3)
+
+	for _, factor := range []int{1, 2, 4} {
+		factor := factor
+		t.Run(fmt.Sprintf("x%d", factor), func(t *testing.T) {
+			tr := base
+			if factor > 1 {
+				var err error
+				tr, err = syn.ScaleDataSet(base, factor)
+				if err != nil {
+					t.Fatal(err)
+				}
+			}
+			batchCfg := r.config(tr, policy.Joint(s.InstalledMem), warmup)
+			batch, err := sim.Run(batchCfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			incCfg := r.config(tr, policy.Joint(s.InstalledMem), warmup)
+			incCfg.Decide = core.ModeIncremental
+			inc, err := sim.Run(incCfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(batch, inc) {
+				t.Errorf("x%d: incremental run diverges from batch", factor)
+			}
+		})
+	}
+}

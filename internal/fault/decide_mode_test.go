@@ -1,0 +1,57 @@
+package fault
+
+import (
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"jointpm/internal/core"
+)
+
+// TestIncrementalModeMatchesBatchUnderFaults extends the incremental-
+// Decide equivalence proof into the degradation ladder: every checked-in
+// fault plan, under several seeds, must produce bit-identical results in
+// batch and incremental observation mode. Faulted runs reach the decision
+// paths a clean trace never does — degenerate fits, fallback decisions,
+// failed banks shrinking the candidate slate — so this pins the
+// equivalence precisely where the two paths would be easiest to break.
+func TestIncrementalModeMatchesBatchUnderFaults(t *testing.T) {
+	paths, err := filepath.Glob(filepath.Join("testdata", "faults", "*.json"))
+	if err != nil || len(paths) == 0 {
+		t.Fatalf("no checked-in plans: %v", err)
+	}
+	seeds := []uint64{1, 7, 42}
+	if testing.Short() {
+		seeds = seeds[:1]
+	}
+	base := jointWorkload(t)
+	for _, p := range paths {
+		p := p
+		t.Run(filepath.Base(p), func(t *testing.T) {
+			plan, err := LoadPlan(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, seed := range seeds {
+				batchCfg := *base
+				batch, err := CheckRun(batchCfg, plan, seed)
+				if err != nil {
+					t.Fatal(err)
+				}
+				incCfg := *base
+				incCfg.Decide = core.ModeIncremental
+				inc, err := CheckRun(incCfg, plan, seed)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(batch.Result, inc.Result) {
+					t.Errorf("seed %d: incremental result diverges from batch under faults", seed)
+				}
+				if len(batch.Violations) != len(inc.Violations) {
+					t.Errorf("seed %d: violation counts diverge: %d batch, %d incremental",
+						seed, len(batch.Violations), len(inc.Violations))
+				}
+			}
+		})
+	}
+}

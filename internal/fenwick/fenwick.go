@@ -81,6 +81,27 @@ func (t *Tree) FindKth(k int64) int {
 	return pos // pos is 0-based index of the k-th element
 }
 
+// AppendPrefixSums appends all Len() prefix sums to dst and returns the
+// extended slice: the k-th appended value equals PrefixSum(k). One query
+// per index would cost O(n log n); this materialises them in O(n) using
+// the tree's own structure — node i already holds the sum of the lowbit(i)
+// indices ending at i, so prefix(i) = prefix(i − lowbit(i)) + a[i], and
+// the needed smaller prefix is always already computed. The depth-
+// histogram decision path uses this to turn a whole profile query into
+// one linear pass.
+func (t *Tree) AppendPrefixSums(dst []int64) []int64 {
+	n := t.Len()
+	base := len(dst)
+	for i := 1; i <= n; i++ {
+		s := t.a[i]
+		if j := i - i&(-i); j > 0 {
+			s += dst[base+j-1]
+		}
+		dst = append(dst, s)
+	}
+	return dst
+}
+
 // Reset zeroes all counts, retaining capacity.
 func (t *Tree) Reset() {
 	for i := range t.a {

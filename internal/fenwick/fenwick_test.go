@@ -192,3 +192,39 @@ func TestQuickFindKth(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestQuickAppendPrefixSums checks the O(n) bulk materialisation against
+// one PrefixSum query per index, including appends onto a non-empty dst.
+func TestQuickAppendPrefixSums(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(200)
+		tr := New(n)
+		for i := 0; i < n; i++ {
+			tr.Add(rng.Intn(n), int64(rng.Intn(7))-3)
+		}
+		prefix := 3 + rng.Intn(4)
+		dst := make([]int64, prefix)
+		for i := range dst {
+			dst[i] = int64(100 + i)
+		}
+		got := tr.AppendPrefixSums(dst)
+		if len(got) != prefix+n {
+			return false
+		}
+		for i := 0; i < prefix; i++ {
+			if got[i] != int64(100+i) {
+				return false
+			}
+		}
+		for i := 0; i < n; i++ {
+			if got[prefix+i] != tr.PrefixSum(i) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

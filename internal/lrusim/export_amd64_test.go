@@ -1,0 +1,12 @@
+//go:build amd64
+
+package lrusim
+
+// gapAsmEnabled toggles the AVX512 gap kernels for differential tests.
+func gapAsmEnabled(v bool) {
+	if v {
+		gapAsm = hasAVX512()
+	} else {
+		gapAsm = false
+	}
+}

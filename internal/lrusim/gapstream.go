@@ -1,0 +1,177 @@
+package lrusim
+
+import (
+	"math"
+
+	"jointpm/internal/simtime"
+)
+
+// GapStream maintains the slate-independent form of the idle-interval
+// sweep incrementally, one event at a time. Where EventSweeper.Sweep
+// reconstructs intervals for one candidate slate, GapStream runs the same
+// segment-stack algorithm over the full threshold axis 0..maxBanks — each
+// emission's [Lo, Hi) is a range of bank thresholds, not slate indices —
+// so the resulting gap log prices EVERY slate: a candidate of B banks is
+// covered by exactly the emissions with Lo ≤ B < Hi, and its covered
+// gaps, in log order, are bit-identical in value and order to the
+// interval stream a sequential replay (or a slate sweep) would produce
+// for it. That holds because a threshold's idle intervals depend only on
+// the events deeper than the threshold itself, never on which other
+// thresholds share the slate.
+//
+// Two boundary conditions are only known at decision time and are
+// resolved by Finish:
+//
+//   - the period-start seed: gaps that begin at the period start are
+//     appended as placeholders during feeding (their closing time
+//     recorded) and rewritten once the start is known. There is at most
+//     one such gap per threshold — they appear only while the running
+//     maximum miss bound is still growing — so the fix-up list stays
+//     tiny;
+//   - the period-end phase: one trailing gap per live segment, appended
+//     after the last event.
+//
+// Finish is idempotent for a fixed (start, end), so a decision pass may
+// materialise the log more than once. Reset starts the next period,
+// keeping buffer capacity.
+type GapStream struct {
+	window   simtime.Seconds
+	maxBound int32 // threshold count: maxBanks+1 (thresholds 0..maxBanks)
+
+	segT  []simtime.Seconds
+	segHi []int32
+	emits []Emission
+	seeds []seedFix
+
+	base     int // event-phase log length, set by the first Finish
+	finished bool
+}
+
+// seedFix records a placeholder emission whose gap starts at the (not yet
+// known) period start and closes at t.
+type seedFix struct {
+	idx    int32
+	lo, hi int32
+	t      simtime.Seconds
+}
+
+// gapSentinel marks the period-start seed segment on the stack. It
+// compares above every real miss bound, so the seed is never popped; the
+// end phase clamps it to the threshold count.
+const gapSentinel = math.MaxInt32
+
+// Reset starts a new period for a geometry of maxBanks installed banks
+// and the given aggregation window, retaining buffer capacity.
+func (g *GapStream) Reset(window simtime.Seconds, maxBanks int) {
+	g.window = window
+	g.maxBound = int32(maxBanks) + 1
+	g.segT = append(g.segT[:0], 0)
+	g.segHi = append(g.segHi[:0], gapSentinel)
+	g.emits = g.emits[:0]
+	g.seeds = g.seeds[:0]
+	g.base = 0
+	g.finished = false
+}
+
+// Feed folds one finalized event into the sweep. Events must arrive in
+// time order and already deduplicated (see DepthHist.push) — feeding must
+// mirror the event stream the batch path builds, so the logs agree
+// structurally, not just per candidate.
+func (g *GapStream) Feed(e SweepEvent) {
+	// The event's miss bound on the full threshold axis: a reference at
+	// bank depth b is a disk access for every threshold below b, and the
+	// thresholds are 0..maxBanks, so the bound is b itself.
+	bound := e.Bank
+	t := e.T
+	low := int32(0)
+	n := len(g.segHi)
+	for g.segHi[n-1] <= bound {
+		hi := g.segHi[n-1]
+		if gap := t - g.segT[n-1]; gap >= g.window {
+			g.emits = append(g.emits, Emission{Gap: float64(gap), Lo: low, Hi: hi})
+		}
+		low = hi
+		n--
+	}
+	if low < bound {
+		if g.segHi[n-1] == gapSentinel {
+			// The covered prefix [low, bound) has seen no event yet this
+			// period: its gap starts at the period start. Log a
+			// placeholder now to keep the position, resolve in Finish.
+			g.emits = append(g.emits, Emission{})
+			g.seeds = append(g.seeds, seedFix{idx: int32(len(g.emits) - 1), lo: low, hi: bound, t: t})
+		} else if gap := t - g.segT[n-1]; gap >= g.window {
+			g.emits = append(g.emits, Emission{Gap: float64(gap), Lo: low, Hi: bound})
+		}
+	}
+	g.segT = append(g.segT[:n], t)
+	g.segHi = append(g.segHi[:n], bound)
+}
+
+// Len reports how many events' worth of emissions have accumulated (for
+// snapshot validation and tests).
+func (g *GapStream) Len() int { return len(g.emits) }
+
+// Finish resolves the boundary-dependent emissions and returns the
+// complete gap log for the period. start and end follow the
+// BoundedIdleIntervals convention: negative means "no bound", matching a
+// batch sweep run without a seed segment or end phase. Placeholders that
+// resolve to a dropped gap (below the window, or no period start) are
+// neutralised to an empty [0, 0) range, which every downstream fold
+// ignores. The returned slice is owned by the stream and invalidated by
+// Reset; calling Finish again re-resolves against the new bounds.
+func (g *GapStream) Finish(start, end simtime.Seconds) []Emission {
+	if !g.finished {
+		g.base = len(g.emits)
+		g.finished = true
+	}
+	g.emits = g.emits[:g.base]
+	for _, sf := range g.seeds {
+		e := Emission{}
+		if start >= 0 {
+			if gap := sf.t - start; gap >= g.window {
+				e = Emission{Gap: float64(gap), Lo: sf.lo, Hi: sf.hi}
+			}
+		}
+		g.emits[sf.idx] = e
+	}
+	if end >= 0 {
+		low := int32(0)
+		for j := len(g.segHi) - 1; j >= 0; j-- {
+			t := g.segT[j]
+			hi := g.segHi[j]
+			if hi == gapSentinel {
+				// The seed covers the thresholds no event ever reached;
+				// without a period start there is no seed (the batch
+				// sweep would not have pushed one).
+				if start < 0 {
+					break
+				}
+				hi = g.maxBound
+				t = start
+				if low >= hi {
+					break
+				}
+			}
+			if end > t {
+				if gap := end - t; gap >= g.window {
+					g.emits = append(g.emits, Emission{Gap: float64(gap), Lo: low, Hi: hi})
+				}
+			}
+			low = hi
+		}
+	}
+	return g.emits
+}
+
+// BuildGapLog runs the complete bank-space sweep over a finished event
+// stream in one call: the batch path's way of materialising the same gap
+// log an incrementally fed GapStream holds at period close. Using one
+// implementation for both modes makes the logs identical by construction.
+func BuildGapLog(g *GapStream, events []SweepEvent, maxBanks int, window, start, end simtime.Seconds) []Emission {
+	g.Reset(window, maxBanks)
+	for i := range events {
+		g.Feed(events[i])
+	}
+	return g.Finish(start, end)
+}

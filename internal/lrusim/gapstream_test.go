@@ -1,0 +1,216 @@
+package lrusim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"jointpm/internal/simtime"
+)
+
+// randEvents builds a time-ordered event stream with banks in
+// [minBank+1, maxBanks+1] (the cold sentinel included) and occasional
+// same-timestamp runs when dedup would be off.
+func randEvents(rng *rand.Rand, n, maxBanks, minBank int, dupT bool) []SweepEvent {
+	ev := make([]SweepEvent, 0, n)
+	t := simtime.Seconds(0)
+	for i := 0; i < n; i++ {
+		if !dupT || len(ev) == 0 || rng.Intn(4) != 0 {
+			t += simtime.Seconds(rng.ExpFloat64() * 0.2)
+		}
+		bank := int32(minBank + 1 + rng.Intn(maxBanks+1-minBank))
+		if dupT {
+			if m := len(ev); m > 0 && ev[m-1].T == t {
+				// mirror the dedup the histogram applies
+				if bank > ev[m-1].Bank {
+					ev[m-1].Bank = bank
+				}
+				continue
+			}
+		}
+		ev = append(ev, SweepEvent{T: t, Bank: bank})
+	}
+	return ev
+}
+
+// randSlate draws an ascending slate of up to kmax unique bank counts —
+// kmax > 32 exercises the blocked multi-pass form of the gap kernels.
+func randSlate(rng *rand.Rand, maxBanks, kmax int) []int32 {
+	k := 1 + rng.Intn(kmax)
+	if k > maxBanks {
+		k = maxBanks
+	}
+	seen := map[int]bool{}
+	slate := make([]int32, 0, k)
+	for len(slate) < k {
+		b := 1 + rng.Intn(maxBanks)
+		if !seen[b] {
+			seen[b] = true
+			slate = append(slate, int32(b))
+		}
+	}
+	for i := 1; i < len(slate); i++ {
+		for j := i; j > 0 && slate[j] < slate[j-1]; j-- {
+			slate[j], slate[j-1] = slate[j-1], slate[j]
+		}
+	}
+	return slate
+}
+
+// TestSweepGapsMatchesSweep is the kernel-level half of the
+// incremental/batch equivalence: pricing a slate from the bank-space gap
+// log (GapStream + remapped fold, the incremental decide path) must be
+// bit-identical — Cnt, Sum, Min, and a TailStats pass — to a dedicated
+// slate sweep of the same events. Exercised across window/bound
+// configurations, including window 0 (zero-length gaps emitted) and
+// missing period bounds.
+func TestSweepGapsMatchesSweep(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var gs GapStream
+	var ref, got EventSweeper
+	for trial := 0; trial < 200; trial++ {
+		maxBanks := 4 + rng.Intn(60)
+		window := simtime.Seconds(0)
+		dupT := trial%3 == 0
+		if !dupT {
+			window = simtime.Seconds(rng.Float64() * 0.4)
+		}
+		start, end := simtime.Seconds(-1), simtime.Seconds(-1)
+		if trial%4 != 1 {
+			start = 0
+			end = simtime.Seconds(600)
+		}
+		ev := randEvents(rng, rng.Intn(400), maxBanks, 0, dupT)
+		gaps := BuildGapLog(&gs, ev, maxBanks, window, start, end)
+		for pass := 0; pass < 3; pass++ {
+			kmax := 32
+			if pass == 2 {
+				kmax = 80 // wide slates take the blocked kernel form
+			}
+			slate := randSlate(rng, maxBanks, kmax)
+			k := len(slate)
+			ref.Sweep(ev, slate, int32(maxBanks), window, start, end)
+			got.SweepGaps(gaps, slate, int32(maxBanks))
+			for i := 0; i < k; i++ {
+				if ref.Cnt[i] != got.Cnt[i] ||
+					math.Float64bits(ref.Sum[i]) != math.Float64bits(got.Sum[i]) ||
+					math.Float64bits(ref.Min[i]) != math.Float64bits(got.Min[i]) {
+					t.Fatalf("trial %d slate[%d]=%d: sweep (%d, %v, %v) vs gaps (%d, %v, %v)",
+						trial, i, slate[i], ref.Cnt[i], ref.Sum[i], ref.Min[i],
+						got.Cnt[i], got.Sum[i], got.Min[i])
+				}
+			}
+			kk := (k + 31) &^ 31
+			to := make([]float64, k, kk)
+			ts1 := make([]float64, k, kk)
+			h1 := make([]int64, k, kk)
+			ts2 := make([]float64, k, kk)
+			h2 := make([]int64, k, kk)
+			for i := range to {
+				to[i] = rng.Float64() * 0.5
+				if rng.Intn(8) == 0 {
+					to[i] = math.Inf(1)
+				}
+			}
+			ref.TailStats(to, ts1, h1)
+			got.TailStats(to, ts2, h2)
+			for i := 0; i < k; i++ {
+				if math.Float64bits(ts1[i]) != math.Float64bits(ts2[i]) || h1[i] != h2[i] {
+					t.Fatalf("trial %d tail[%d]: sweep (%v, %d) vs gaps (%v, %d)",
+						trial, i, ts1[i], h1[i], ts2[i], h2[i])
+				}
+			}
+		}
+	}
+}
+
+// TestGapStreamIncrementalMatchesBatch checks that feeding events one at
+// a time (with the straggler finishing late, as DepthHist does) yields
+// the same log as the one-shot BuildGapLog, and that Finish is idempotent.
+func TestGapStreamIncrementalMatchesBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	var batch, inc GapStream
+	for trial := 0; trial < 100; trial++ {
+		maxBanks := 4 + rng.Intn(40)
+		window := simtime.Seconds(rng.Float64() * 0.3)
+		ev := randEvents(rng, rng.Intn(300), maxBanks, 0, true)
+		start, end := simtime.Seconds(0), simtime.Seconds(500)
+		want := BuildGapLog(&batch, ev, maxBanks, window, start, end)
+
+		inc.Reset(window, maxBanks)
+		for i := range ev {
+			inc.Feed(ev[i])
+		}
+		got := inc.Finish(start, end)
+		compareLogs(t, trial, want, got)
+		got = inc.Finish(start, end) // idempotent
+		compareLogs(t, trial, want, got)
+	}
+}
+
+func compareLogs(t *testing.T, trial int, want, got []Emission) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("trial %d: log length %d vs %d", trial, len(want), len(got))
+	}
+	for i := range want {
+		if math.Float64bits(want[i].Gap) != math.Float64bits(got[i].Gap) ||
+			want[i].Lo != got[i].Lo || want[i].Hi != got[i].Hi {
+			t.Fatalf("trial %d emission %d: %+v vs %+v", trial, i, want[i], got[i])
+		}
+	}
+}
+
+// TestSweepGapsGenericMatchesAsm pins the asm gap kernels to the generic
+// compact-and-fold tier bit for bit, on the same inputs.
+func TestSweepGapsGenericMatchesAsm(t *testing.T) {
+	if !gapAsm {
+		t.Skip("no AVX512 gap kernels on this machine")
+	}
+	defer func() { gapAsmEnabled(true) }()
+	rng := rand.New(rand.NewSource(13))
+	var gs GapStream
+	var asmS, genS EventSweeper
+	for trial := 0; trial < 150; trial++ {
+		maxBanks := 4 + rng.Intn(80)
+		window := simtime.Seconds(rng.Float64() * 0.2)
+		ev := randEvents(rng, rng.Intn(500), maxBanks, 0, true)
+		gaps := BuildGapLog(&gs, ev, maxBanks, window, 0, 400)
+		kmax := 32
+		if trial%2 == 1 {
+			kmax = 80
+		}
+		slate := randSlate(rng, maxBanks, kmax)
+		k := len(slate)
+		gapAsmEnabled(true)
+		asmS.SweepGaps(gaps, slate, int32(maxBanks))
+		gapAsmEnabled(false)
+		genS.SweepGaps(gaps, slate, int32(maxBanks))
+		for i := 0; i < k; i++ {
+			if asmS.Cnt[i] != genS.Cnt[i] ||
+				math.Float64bits(asmS.Sum[i]) != math.Float64bits(genS.Sum[i]) ||
+				math.Float64bits(asmS.Min[i]) != math.Float64bits(genS.Min[i]) {
+				t.Fatalf("trial %d cand %d: asm (%d, %v, %v) vs generic (%d, %v, %v)",
+					trial, i, asmS.Cnt[i], asmS.Sum[i], asmS.Min[i],
+					genS.Cnt[i], genS.Sum[i], genS.Min[i])
+			}
+		}
+		kk := (k + 31) &^ 31
+		to := make([]float64, k, kk)
+		tsA := make([]float64, k, kk)
+		hA := make([]int64, k, kk)
+		tsG := make([]float64, k, kk)
+		hG := make([]int64, k, kk)
+		for i := range to {
+			to[i] = rng.Float64() * 0.3
+		}
+		asmS.TailStats(to, tsA, hA)
+		genS.TailStats(to, tsG, hG)
+		for i := 0; i < k; i++ {
+			if math.Float64bits(tsA[i]) != math.Float64bits(tsG[i]) || hA[i] != hG[i] {
+				t.Fatalf("trial %d tail cand %d: asm (%v, %d) vs generic (%v, %d)",
+					trial, i, tsA[i], hA[i], tsG[i], hG[i])
+			}
+		}
+	}
+}

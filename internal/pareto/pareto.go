@@ -140,11 +140,25 @@ func FitMoments(sample []float64, betaFloor float64) (Dist, error) {
 		}
 		sum += x
 	}
+	return FitStats(int64(len(sample)), minV, sum, betaFloor)
+}
+
+// FitStats is FitMoments on a pre-reduced sample: n observations with
+// minimum minV and total sum, where sum was accumulated in the sample's
+// own order. Streaming consumers (the incremental decision path) maintain
+// exactly these three reductions per candidate and fit without ever
+// materialising the interval list; because the arithmetic below is shared
+// with FitMoments, the two entry points are bit-identical on the same
+// sample.
+func FitStats(n int64, minV, sum, betaFloor float64) (Dist, error) {
+	if n == 0 {
+		return Dist{}, fmt.Errorf("%w: empty sample", ErrDegenerate)
+	}
 	beta := minV
 	if betaFloor > beta {
 		beta = betaFloor
 	}
-	mean := sum / float64(len(sample))
+	mean := sum / float64(n)
 	if mean <= beta {
 		return Dist{}, fmt.Errorf("%w: mean %.4g <= beta %.4g", ErrDegenerate, mean, beta)
 	}

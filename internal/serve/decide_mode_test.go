@@ -1,0 +1,233 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/binary"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"jointpm/internal/core"
+)
+
+// TestIncrementalDecisionStreamMatchesBatch is the daemon-level half of
+// the incremental-Decide equivalence proof: the same stream served in
+// batch and incremental observation mode must publish identical decision
+// sequences, with and without warmup periods (which exercise the
+// DiscardPeriod path in the shard).
+func TestIncrementalDecisionStreamMatchesBatch(t *testing.T) {
+	tr := testTrace(t, 31)
+	for _, warmup := range []int{0, 3} {
+		batchCfg := testConfig(nil)
+		batchCfg.WarmupPeriods = warmup
+		want := runUninterrupted(t, tr, batchCfg)
+		if len(want) < 10 {
+			t.Fatalf("warmup=%d: batch run closed only %d periods", warmup, len(want))
+		}
+
+		incCfg := testConfig(nil)
+		incCfg.WarmupPeriods = warmup
+		incCfg.Decide = core.ModeIncremental
+		got := runUninterrupted(t, tr, incCfg)
+
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("warmup=%d: incremental decision stream diverges from batch (got %d, want %d decisions)",
+				warmup, len(got), len(want))
+		}
+	}
+}
+
+// TestIncrementalWarmRestartParity replays the warm-restart acceptance
+// criterion in incremental mode: stopping at an arbitrary request (mid-
+// period included) and restarting from the checkpoint must reproduce the
+// uninterrupted incremental run's decision stream exactly. Mid-period
+// cuts force restore to rebuild the streaming histogram by replaying the
+// snapshot's partial-period log, validated against the v2 snapshot's
+// recorded ingested-reference count.
+func TestIncrementalWarmRestartParity(t *testing.T) {
+	tr := testTrace(t, 11)
+	base := testConfig(nil)
+	base.Decide = core.ModeIncremental
+	want := runUninterrupted(t, tr, base)
+	if len(want) < 10 {
+		t.Fatalf("reference run closed only %d periods", len(want))
+	}
+
+	cuts := []int{1, len(tr.Requests) / 3, len(tr.Requests) / 2}
+	for _, cut := range cuts {
+		snap := filepath.Join(t.TempDir(), "daemon.snap")
+
+		log1 := &decisionLog{}
+		cfg := testConfig(log1)
+		cfg.Decide = core.ModeIncremental
+		cfg.SnapshotPath = snap
+		srv1, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sh1, err := srv1.Shard("d0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < cut; i++ {
+			if err := sh1.Ingest(tr.Requests[i]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := srv1.Close(); err != nil {
+			t.Fatal(err)
+		}
+
+		log2 := &decisionLog{}
+		cfg2 := testConfig(log2)
+		cfg2.Decide = core.ModeIncremental
+		cfg2.SnapshotPath = snap
+		srv2, err := New(cfg2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := srv2.Restore(); err != nil {
+			t.Fatal(err)
+		}
+		sh2, err := srv2.Shard("d0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := sh2.Consumed(); i < int64(len(tr.Requests)); i++ {
+			if err := sh2.Ingest(tr.Requests[i]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := sh2.FinishTo(tr.Duration); err != nil {
+			t.Fatal(err)
+		}
+		if err := srv2.Close(); err != nil {
+			t.Fatal(err)
+		}
+
+		got := append(log1.list(), log2.list()...)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("cut %d: restarted incremental decision stream diverges (got %d, want %d decisions)",
+				cut, len(got), len(want))
+		}
+	}
+}
+
+// TestBatchSnapshotRestoresIntoIncremental covers the mode-migration
+// path: a checkpoint cut by a batch daemon restores into an
+// incremental-mode server, which rebuilds the histogram from the stored
+// partial-period log; the combined stream still matches an uninterrupted
+// incremental run (itself bit-identical to batch).
+func TestBatchSnapshotRestoresIntoIncremental(t *testing.T) {
+	tr := testTrace(t, 11)
+	base := testConfig(nil)
+	base.Decide = core.ModeIncremental
+	want := runUninterrupted(t, tr, base)
+
+	cut := len(tr.Requests) / 2
+	snap := filepath.Join(t.TempDir(), "daemon.snap")
+
+	log1 := &decisionLog{}
+	cfg := testConfig(log1) // batch mode
+	cfg.SnapshotPath = snap
+	srv1, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh1, err := srv1.Shard("d0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < cut; i++ {
+		if err := sh1.Ingest(tr.Requests[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := srv1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	log2 := &decisionLog{}
+	cfg2 := testConfig(log2)
+	cfg2.Decide = core.ModeIncremental
+	cfg2.SnapshotPath = snap
+	srv2, err := New(cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv2.Restore(); err != nil {
+		t.Fatal(err)
+	}
+	sh2, err := srv2.Shard("d0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := sh2.Consumed(); i < int64(len(tr.Requests)); i++ {
+		if err := sh2.Ingest(tr.Requests[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sh2.FinishTo(tr.Duration); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	got := append(log1.list(), log2.list()...)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("batch→incremental restore diverges (got %d, want %d decisions)", len(got), len(want))
+	}
+}
+
+// TestSnapshotV1Read pins backward compatibility: a version-1 snapshot —
+// the v2 payload minus the per-shard incremental section — still decodes,
+// with the new fields at their zero values.
+func TestSnapshotV1Read(t *testing.T) {
+	states := []shardState{{
+		Name:         "d0",
+		PeriodIdx:    3,
+		Consumed:     120,
+		NextBoundary: 480,
+		CurBanks:     64,
+		CurPages:     1024,
+		Core:         core.State{Banks: 64, Pages: 1024, Timeout: 5},
+		StackPages:   []int64{9, 4, 7},
+		StackRefs:    120,
+		StackColds:   10,
+		Log:          []logRecord{{Time: 361.5, Page: 7, Depth: -1, Bytes: 65536}},
+	}}
+	payload := encodePayload(states)
+	// A single shard with zero Mode and IngestedRefs encodes the v2
+	// section as exactly two zero bytes; stripping them yields the byte
+	// stream a v1 writer produced.
+	if payload[len(payload)-1] != 0 || payload[len(payload)-2] != 0 {
+		t.Fatal("expected trailing zero-valued v2 section")
+	}
+	v1 := payload[:len(payload)-2]
+
+	path := filepath.Join(t.TempDir(), "v1.snap")
+	var f bytes.Buffer
+	f.WriteString(snapshotMagic)
+	f.WriteByte(1)
+	var lenBuf [8]byte
+	binary.LittleEndian.PutUint64(lenBuf[:], uint64(len(v1)))
+	f.Write(lenBuf[:])
+	f.Write(v1)
+	var crcBuf [4]byte
+	binary.LittleEndian.PutUint32(crcBuf[:], crc32.ChecksumIEEE(v1))
+	f.Write(crcBuf[:])
+	if err := os.WriteFile(path, f.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	got, err := readSnapshotFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, states) {
+		t.Fatalf("v1 snapshot decodes differently:\n got %+v\nwant %+v", got, states)
+	}
+}

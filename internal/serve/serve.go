@@ -42,6 +42,16 @@ type Config struct {
 	// Joint overlays non-zero fields onto the derived core.DefaultParams.
 	Joint *core.Params
 
+	// Decide selects the manager's observation path: batch (the zero
+	// value) hands each closed period's depth log to core.Manager.Decide;
+	// incremental streams every reference through Manager.Ingest as it is
+	// served, so closing a period is core.Manager.DecideIncremental — an
+	// O(banks + events) query instead of an O(refs) replay. Decisions are
+	// bit-identical either way. The partial-period depth log is kept in
+	// both modes: it is what the snapshot persists, and what a restore
+	// replays through Ingest to rebuild the incremental state.
+	Decide core.DecideMode
+
 	// SnapshotPath enables checkpointing; empty disables it.
 	SnapshotPath string
 	// SnapshotEvery writes a checkpoint whenever any shard has closed a

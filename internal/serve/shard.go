@@ -159,7 +159,13 @@ func (sh *Shard) serve(req trace.Request) {
 		page := req.FirstPage + int64(k)
 		sh.cacheAcc++
 		depth := sh.stack.Reference(page)
-		sh.periodLog = append(sh.periodLog, lrusim.DepthRecord{Time: req.Time, Page: page, Depth: depth, Bytes: sh.pageSize})
+		rec := lrusim.DepthRecord{Time: req.Time, Page: page, Depth: depth, Bytes: sh.pageSize}
+		// The log is kept even in incremental mode: it is the snapshot's
+		// replayable form of the partial period (see restore).
+		sh.periodLog = append(sh.periodLog, rec)
+		if sh.srv.cfg.Decide == core.ModeIncremental {
+			sh.mgr.Ingest(rec)
+		}
 		hit := depth != lrusim.Cold && int64(depth) <= sh.curPages
 		if hit {
 			flush()
@@ -188,6 +194,7 @@ func (sh *Shard) closePeriod() error {
 	end := sh.nextBoundary
 	start := end - sh.period
 
+	incremental := sh.srv.cfg.Decide == core.ModeIncremental
 	var dec core.Decision
 	if idx > int64(sh.srv.cfg.WarmupPeriods) {
 		coalesce := 1.0
@@ -195,7 +202,6 @@ func (sh *Shard) closePeriod() error {
 			coalesce = float64(sh.misses) / float64(sh.reqRuns)
 		}
 		obs := core.Observation{
-			Log:            sh.periodLog,
 			CacheAccesses:  sh.cacheAcc,
 			CoalesceFactor: coalesce,
 			PeriodStart:    start,
@@ -203,11 +209,19 @@ func (sh *Shard) closePeriod() error {
 			CurrentBanks:   sh.curBanks,
 		}
 		sh.srv.acquire()
-		dec = sh.mgr.Decide(obs)
+		if incremental {
+			dec = sh.mgr.DecideIncremental(obs)
+		} else {
+			obs.Log = sh.periodLog
+			dec = sh.mgr.Decide(obs)
+		}
 		sh.srv.release()
 		sh.curBanks = dec.Banks
 		sh.curPages = dec.Pages
 	} else {
+		if incremental {
+			sh.mgr.DiscardPeriod()
+		}
 		dec = sh.mgr.Last()
 	}
 
@@ -242,6 +256,12 @@ func (sh *Shard) state() shardState {
 		CacheAcc:     sh.cacheAcc,
 		Misses:       sh.misses,
 		ReqRuns:      sh.reqRuns,
+	}
+	if sh.srv.cfg.Decide == core.ModeIncremental {
+		st.Mode = int64(core.ModeIncremental)
+		if h := sh.mgr.Hist(); h != nil {
+			st.IngestedRefs = h.Refs()
+		}
 	}
 	st.Log = make([]logRecord, len(sh.periodLog))
 	for i, r := range sh.periodLog {
@@ -286,6 +306,25 @@ func (sh *Shard) restore(st shardState) error {
 			Depth: int(r.Depth),
 			Bytes: simtime.Bytes(r.Bytes),
 		})
+	}
+	if sh.srv.cfg.Decide == core.ModeIncremental {
+		// Rebuild the streaming observation state by replaying the
+		// partial period — Ingest is deterministic, so the histogram and
+		// gap log land exactly where the checkpointed run had them. When
+		// the snapshot itself was cut in incremental mode, its recorded
+		// reference count must agree with the replay.
+		for _, r := range sh.periodLog {
+			sh.mgr.Ingest(r)
+		}
+		if st.Mode == int64(core.ModeIncremental) {
+			var got int64
+			if h := sh.mgr.Hist(); h != nil {
+				got = h.Refs()
+			}
+			if got != st.IngestedRefs {
+				return fmt.Errorf("serve: shard %s: incremental state mismatch: replayed %d refs, snapshot recorded %d", st.Name, got, st.IngestedRefs)
+			}
+		}
 	}
 	return nil
 }

@@ -37,8 +37,15 @@ import (
 )
 
 const (
-	snapshotMagic   = "JPMS"
-	snapshotVersion = 1
+	snapshotMagic = "JPMS"
+
+	// snapshotVersion 2 added the per-shard incremental-decide section
+	// (observation mode + ingested reference count); version-1 files are
+	// still readable — they simply predate incremental mode, so the
+	// section decodes to its zero values and restore rebuilds any needed
+	// incremental state by replaying the stored partial-period log.
+	snapshotVersion    = 2
+	snapshotVersionMin = 1
 
 	// maxSnapshotShards bounds the shard count a reader will believe, so
 	// a corrupt count cannot drive allocation.
@@ -72,6 +79,15 @@ type shardState struct {
 	Misses       int64
 	ReqRuns      int64
 	Log          []logRecord
+
+	// Incremental-decide section (snapshot v2): the observation mode the
+	// shard was running and how many references its manager had ingested
+	// into the streaming depth histogram when the checkpoint was cut.
+	// The histogram itself is not serialised — the partial-period Log is
+	// its replayable form — so Mode/IngestedRefs exist to validate that a
+	// restore's replay reconstructed exactly the state the snapshot saw.
+	Mode         int64
+	IngestedRefs int64
 }
 
 type payloadWriter struct {
@@ -145,6 +161,8 @@ func encodePayload(states []shardState) []byte {
 			w.sv(r.Depth)
 			w.uv(uint64(r.Bytes))
 		}
+		w.uv(uint64(st.Mode))
+		w.uv(uint64(st.IngestedRefs))
 	}
 	return w.buf.Bytes()
 }
@@ -192,7 +210,7 @@ func (r *payloadReader) str(maxLen uint64) (string, error) {
 	return string(b), nil
 }
 
-func decodePayload(payload []byte) ([]shardState, error) {
+func decodePayload(payload []byte, version byte) ([]shardState, error) {
 	r := &payloadReader{r: bytes.NewReader(payload)}
 	count, err := r.uv()
 	if err != nil {
@@ -203,7 +221,7 @@ func decodePayload(payload []byte) ([]shardState, error) {
 	}
 	states := make([]shardState, 0, count)
 	for i := uint64(0); i < count; i++ {
-		st, err := decodeShard(r)
+		st, err := decodeShard(r, version)
 		if err != nil {
 			return nil, fmt.Errorf("shard %d: %w", i, err)
 		}
@@ -215,7 +233,7 @@ func decodePayload(payload []byte) ([]shardState, error) {
 	return states, nil
 }
 
-func decodeShard(r *payloadReader) (shardState, error) {
+func decodeShard(r *payloadReader, version byte) (shardState, error) {
 	var st shardState
 	var err error
 	if st.Name, err = r.str(1 << 10); err != nil {
@@ -327,6 +345,17 @@ func decodeShard(r *payloadReader) (shardState, error) {
 		}
 		rec.Bytes = int64(v)
 	}
+	if version >= 2 {
+		v, err := r.uv()
+		if err != nil {
+			return st, err
+		}
+		st.Mode = int64(v)
+		if v, err = r.uv(); err != nil {
+			return st, err
+		}
+		st.IngestedRefs = int64(v)
+	}
 	return st, nil
 }
 
@@ -393,8 +422,9 @@ func readSnapshotFile(path string) ([]shardState, error) {
 	if string(b[:4]) != snapshotMagic {
 		return nil, fmt.Errorf("snapshot %s: bad magic", path)
 	}
-	if v := b[4]; v != snapshotVersion {
-		return nil, fmt.Errorf("snapshot %s: unsupported version %d", path, v)
+	version := b[4]
+	if version < snapshotVersionMin || version > snapshotVersion {
+		return nil, fmt.Errorf("snapshot %s: unsupported version %d", path, version)
 	}
 	payloadLen := binary.LittleEndian.Uint64(b[5:13])
 	if payloadLen != uint64(len(b)-hdrLen-4) {
@@ -405,7 +435,7 @@ func readSnapshotFile(path string) ([]shardState, error) {
 	if got := crc32.ChecksumIEEE(payload); got != wantCRC {
 		return nil, fmt.Errorf("snapshot %s: checksum mismatch (%08x != %08x)", path, got, wantCRC)
 	}
-	states, err := decodePayload(payload)
+	states, err := decodePayload(payload, version)
 	if err != nil {
 		return nil, fmt.Errorf("snapshot %s: %w", path, err)
 	}

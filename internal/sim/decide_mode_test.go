@@ -1,0 +1,42 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"jointpm/internal/core"
+	"jointpm/internal/policy"
+	"jointpm/internal/simtime"
+)
+
+// TestIncrementalModeMatchesBatch is the engine-level half of the
+// incremental-Decide equivalence proof: the same trace simulated with the
+// batch observation path (full period logs replayed at each boundary) and
+// with the incremental path (every reference streamed through
+// Manager.Ingest) must produce identical results — energies, delays,
+// decision sequences, everything in Result. The warmup run also exercises
+// DiscardPeriod, which drops ingested-but-undecided warmup periods.
+func TestIncrementalModeMatchesBatch(t *testing.T) {
+	tr := testWorkload(t, float64(simtime.MB), 1800)
+	for _, warmup := range []simtime.Seconds{0, 300} {
+		batchCfg := testConfig(tr, policy.Joint(128*simtime.MB))
+		batchCfg.Warmup = warmup
+		batch, err := Run(batchCfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		incCfg := testConfig(tr, policy.Joint(128*simtime.MB))
+		incCfg.Warmup = warmup
+		incCfg.Decide = core.ModeIncremental
+		inc, err := Run(incCfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		if !reflect.DeepEqual(batch, inc) {
+			t.Errorf("warmup=%v: incremental run diverges from batch:\nbatch: %+v\nincr:  %+v",
+				warmup, batch, inc)
+		}
+	}
+}

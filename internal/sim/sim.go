@@ -47,6 +47,15 @@ type Config struct {
 	// defaults derived from this config.
 	Joint *core.Params
 
+	// Decide selects how the joint manager observes each period: batch
+	// (the default) collects the period's depth log and hands it to
+	// core.Manager.Decide at the boundary; incremental streams every
+	// reference through Manager.Ingest as it is served, so the boundary
+	// runs core.Manager.DecideIncremental — an O(banks + events) query.
+	// The two modes produce bit-identical decisions (and therefore
+	// bit-identical Results); see TestIncrementalModeMatchesBatch.
+	Decide core.DecideMode
+
 	// Zoned, when set, replaces the flat service model with the zoned
 	// disk: media rate varies by platter zone and seek time by head
 	// travel. The data set is laid out spread uniformly across the
@@ -212,8 +221,9 @@ type engine struct {
 	mem   *mem.Memory
 
 	adaptive *policy.AdaptiveTimeout
-	manager  *core.Manager
-	curBanks int // banks actually enabled (≠ decision under fault injection)
+	manager     *core.Manager
+	incremental bool // stream refs through Ingest; decide via DecideIncremental
+	curBanks    int  // banks actually enabled (≠ decision under fault injection)
 
 	zoned    *disk.ZonedDisk
 	lbaScale float64
@@ -322,10 +332,13 @@ func newEngine(cfg Config) (*engine, error) {
 			return nil, err
 		}
 		e.manager = mgr
+		e.incremental = cfg.Decide == core.ModeIncremental
 		e.curBanks = totalBanks
 		e.stack = lrusim.NewStackSim(int(installedFrames))
-		e.logBuf = depthLogs.Get().(*[]lrusim.DepthRecord)
-		e.periodLog = (*e.logBuf)[:0]
+		if !e.incremental {
+			e.logBuf = depthLogs.Get().(*[]lrusim.DepthRecord)
+			e.periodLog = (*e.logBuf)[:0]
+		}
 	}
 	e.res.Method = cfg.Method
 	return e, nil
@@ -412,7 +425,12 @@ func (e *engine) serve(req *trace.Request) {
 
 		if e.stack != nil {
 			depth := e.stack.Reference(page)
-			e.periodLog = append(e.periodLog, lrusim.DepthRecord{Time: t, Page: page, Depth: depth, Bytes: e.pageSize})
+			rec := lrusim.DepthRecord{Time: t, Page: page, Depth: depth, Bytes: e.pageSize}
+			if e.incremental {
+				e.manager.Ingest(rec)
+			} else {
+				e.periodLog = append(e.periodLog, rec)
+			}
 		}
 
 		hit := e.lookup(page, t)
@@ -522,14 +540,20 @@ func (e *engine) closePeriod(t simtime.Seconds) {
 		if w.Requests > 0 {
 			coalesce = float64(stat.DiskAccesses) / float64(w.Requests)
 		}
-		dec := e.manager.Decide(core.Observation{
-			Log:            e.periodLog,
+		obs := core.Observation{
 			CacheAccesses:  e.periodCacheAcc,
 			CoalesceFactor: coalesce,
 			PeriodStart:    stat.Start,
 			PeriodEnd:      stat.End,
 			CurrentBanks:   e.curBanks,
-		})
+		}
+		var dec core.Decision
+		if e.incremental {
+			dec = e.manager.DecideIncremental(obs)
+		} else {
+			obs.Log = e.periodLog
+			dec = e.manager.Decide(obs)
+		}
 		stat.Decision = &dec
 		// Apply the memory half first: with fault injection a bank enable
 		// can fail, truncating the usable contiguous prefix, and the cache
@@ -544,6 +568,10 @@ func (e *engine) closePeriod(t simtime.Seconds) {
 		e.curBanks = achieved
 		stat.Banks = achieved
 		stat.Timeout = dec.Timeout
+	} else if e.manager != nil && e.incremental {
+		// Warmup boundary: drop the ingested references unexamined, the
+		// incremental counterpart of clearing the period log below.
+		e.manager.DiscardPeriod()
 	}
 	e.obsm.periodBanks.Set(float64(stat.Banks))
 	e.periodLog = e.periodLog[:0]
