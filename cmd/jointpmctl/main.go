@@ -1,0 +1,106 @@
+// Command jointpmctl queries a running jointpmd's debug endpoints and
+// renders them for a terminal: a one-screen status table (the default),
+// or the per-period flight records.
+//
+// Usage:
+//
+//	jointpmctl -addr 127.0.0.1:7071            # status table
+//	jointpmctl -addr 127.0.0.1:7071 status
+//	jointpmctl -addr 127.0.0.1:7071 periods -disk d0 -n 8
+//	jointpmctl -addr 127.0.0.1:7071 periods -json
+//
+// -addr names the daemon's -metrics-addr listener; both commands are
+// plain GETs (/debug/status, /debug/periods), so curl works too —
+// jointpmctl only adds the rendering.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+
+	"jointpm/internal/serve"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "jointpmctl:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("jointpmctl", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:7071", "jointpmd -metrics-addr to query")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cmd := "status"
+	rest := fs.Args()
+	if len(rest) > 0 {
+		cmd, rest = rest[0], rest[1:]
+	}
+	switch cmd {
+	case "status":
+		var st serve.Status
+		if err := getJSON(*addr, "/debug/status", &st); err != nil {
+			return err
+		}
+		return renderStatus(w, *addr, st)
+	case "periods":
+		pfs := flag.NewFlagSet("jointpmctl periods", flag.ContinueOnError)
+		disk := pfs.String("disk", "", "restrict to one disk")
+		n := pfs.Int("n", 0, "newest N records per disk (0: whole ring)")
+		raw := pfs.Bool("json", false, "emit the raw JSON response")
+		if err := pfs.Parse(rest); err != nil {
+			return err
+		}
+		path := fmt.Sprintf("/debug/periods?disk=%s&n=%d", *disk, *n)
+		if *raw {
+			return getRaw(*addr, path, w)
+		}
+		var pr serve.PeriodsResponse
+		if err := getJSON(*addr, path, &pr); err != nil {
+			return err
+		}
+		return renderPeriods(w, pr)
+	default:
+		return fmt.Errorf("unknown command %q (want status or periods)", cmd)
+	}
+}
+
+func getJSON(addr, path string, v any) error {
+	resp, err := http.Get("http://" + addr + path)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s: %s: %s", path, resp.Status, body)
+	}
+	if err := json.Unmarshal(body, v); err != nil {
+		return fmt.Errorf("GET %s: decoding: %w", path, err)
+	}
+	return nil
+}
+
+func getRaw(addr, path string, w io.Writer) error {
+	resp, err := http.Get("http://" + addr + path)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		return fmt.Errorf("GET %s: %s: %s", path, resp.Status, body)
+	}
+	_, err = io.Copy(w, resp.Body)
+	return err
+}

@@ -1,0 +1,107 @@
+package main
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"jointpm/internal/obs"
+	"jointpm/internal/obs/flight"
+	"jointpm/internal/serve"
+)
+
+// TestRenderStatusGolden pins the one-screen status table byte for
+// byte: header line, per-shard rows (timeout formatting including the
+// +Inf "spin-down disabled" case), and the counter line.
+func TestRenderStatusGolden(t *testing.T) {
+	st := serve.Status{
+		UptimeS:     632.4,
+		StreamLagS:  0.418,
+		DecideMode:  "incremental",
+		PeriodS:     120,
+		FlightDepth: 64,
+		Shards: []serve.ShardStatus{
+			{
+				Disk: "sda", Periods: 15, Consumed: 52340, Banks: 80,
+				TimeoutS: 11.7, Fallbacks: 0,
+				DecideP50Ms: 0.41, DecideP99Ms: 1.27, FlightTotal: 15,
+				Energy: flight.Ledger{MemNapJ: 1234.56, DiskActiveJ: 301.2, DiskSpinJ: 44.1, DelayS: 12.6},
+			},
+			{
+				Disk: "sdb", Periods: 3, Consumed: 104, Banks: 128,
+				TimeoutS: obs.Float(math.Inf(1)), Fallbacks: 2,
+				DecideP50Ms: 0.05, DecideP99Ms: 0.05, FlightTotal: 3,
+				Energy: flight.Ledger{MemNapJ: 250, DiskActiveJ: 75.5},
+			},
+		},
+		Counters: []obs.NamedInt{
+			{Name: "core.decide_calls", Value: 18},
+			{Name: "fault.disk.trips", Value: 1},
+			{Name: "serve.fallbacks", Value: 2},
+		},
+	}
+	var buf bytes.Buffer
+	if err := renderStatus(&buf, "127.0.0.1:7071", st); err != nil {
+		t.Fatal(err)
+	}
+	want := "jointpmd 127.0.0.1:7071  up 632s  lag 0.42s  decide incremental  period 120s  flight 64 periods\n" +
+		"\n" +
+		"DISK  PERIODS  CONSUMED  BANKS  TIMEOUT  FALLBK  DECIDE p50/p99   MEM J   DISK J  DELAY s\n" +
+		"sda   15       52340     80     11.70s   0       0.41ms / 1.27ms  1234.6  345.3   12.60\n" +
+		"sdb   3        104       128    inf      2       0.05ms / 0.05ms  250.0   75.5    0.00\n" +
+		"\n" +
+		"counters: fault.disk.trips=1  serve.fallbacks=2\n"
+	if got := buf.String(); got != want {
+		t.Errorf("status table mismatch:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+// TestRenderPeriodsGolden pins the flight-record table: disks in name
+// order, span formatting, per-ref ingest cost, and the flags column.
+func TestRenderPeriodsGolden(t *testing.T) {
+	pr := serve.PeriodsResponse{
+		FlightDepth: 8,
+		Disks: map[string][]flight.PeriodRecord{
+			"sdb": {
+				{
+					Disk: "sdb", Period: 1, Mode: "incremental", StartS: 0, EndS: 120,
+					Refs: 0, Banks: 128, TimeoutS: obs.Float(math.Inf(1)), Warmup: true,
+					Energy: flight.Ledger{MemNapJ: 100},
+				},
+			},
+			"sda": {
+				{
+					Disk: "sda", Period: 7, Mode: "incremental", StartS: 720, EndS: 840,
+					Refs: 4000, IngestNs: 1_200_000, DecideNs: 410_000, EmitNs: 9_100,
+					CheckpointNs: 12_000_000, Banks: 80, TimeoutS: 11.7,
+					Energy: flight.Ledger{MemNapJ: 80.25, DiskActiveJ: 20.5},
+				},
+				{
+					Disk: "sda", Period: 8, Mode: "incremental", StartS: 840, EndS: 960,
+					Refs: 2000, IngestNs: 640_000, DecideNs: 380_000, EmitNs: 8_000,
+					Banks: 80, TimeoutS: 11.7, Fallback: true,
+					Energy: flight.Ledger{MemNapJ: 80.25},
+				},
+			},
+		},
+	}
+	var buf bytes.Buffer
+	if err := renderPeriods(&buf, pr); err != nil {
+		t.Fatal(err)
+	}
+	got := buf.String()
+	wantExact := "DISK  PERIOD  SPAN s  REFS  INGEST ns/ref  DECIDE  EMIT    CKPT    BANKS  TIMEOUT  ENERGY J  FLAGS\n" +
+		"sda   7       120     4000  300            410µs   9100ns  12.0ms  80     11.70s   100.8     -\n" +
+		"sda   8       120     2000  320            380µs   8000ns  -       80     11.70s   80.2      fallback\n" +
+		"sdb   1       120     0     0              -       -       -       128    inf      100.0     warmup\n"
+	if got != wantExact {
+		t.Errorf("periods table mismatch:\n--- got ---\n%s\n--- want ---\n%s", got, wantExact)
+	}
+}
+
+// TestRunUnknownCommand: argument errors are reported, not panics.
+func TestRunUnknownCommand(t *testing.T) {
+	if err := run([]string{"bogus"}, &bytes.Buffer{}); err == nil {
+		t.Fatal("unknown command accepted")
+	}
+}

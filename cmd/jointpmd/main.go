@@ -31,14 +31,18 @@ import (
 	"io"
 	"math"
 	"net"
+	"net/http"
 	"os"
+	"os/signal"
 	"strings"
 	"sync"
+	"syscall"
 	"time"
 
 	"jointpm/internal/core"
 	"jointpm/internal/fault"
 	"jointpm/internal/obs"
+	"jointpm/internal/obs/flight"
 	"jointpm/internal/serve"
 	"jointpm/internal/shutdown"
 	"jointpm/internal/simtime"
@@ -65,9 +69,10 @@ func run() (retErr error) {
 		snapshotEvery = flag.Int64("snapshot-every", 5, "checkpoint every N closed periods (0: only on shutdown)")
 		tick          = flag.Duration("tick", 0, "advance idle disks' stream clocks this often in wall time (0: periods close from stream time only)")
 		faultsPath    = flag.String("faults", "", "fault plan JSON (supports daemon.crash_at_period)")
-		metricsAddr   = flag.String("metrics-addr", "", "serve /metrics and /debug/vars on this address")
+		metricsAddr   = flag.String("metrics-addr", "", "serve /metrics, /debug/vars, /debug/status, and /debug/periods on this address")
 		decTrace      = flag.String("decision-trace", "", "append one JSON line per joint decision to this file")
 		decideMode    = flag.String("decide", "incremental", "observation path per shard: batch or incremental (bit-identical decisions)")
+		flightDepth   = flag.Int("flight", flight.DefaultDepth, "per-shard flight recorder depth in periods (0: disabled)")
 	)
 	flag.Parse()
 
@@ -102,24 +107,21 @@ func run() (retErr error) {
 		return err
 	}
 	cfg := serve.Config{
-		Decide:        mode,
-		PageSize:      pageSize,
-		BankSize:      bankSize,
-		InstalledMem:  installed,
-		Period:        simtime.Seconds(*period),
-		WarmupPeriods: *warmup,
-		SnapshotPath:  *snapshot,
-		SnapshotEvery: *snapshotEvery,
+		Decide:         mode,
+		PageSize:       pageSize,
+		BankSize:       bankSize,
+		InstalledMem:   installed,
+		Period:         simtime.Seconds(*period),
+		WarmupPeriods:  *warmup,
+		SnapshotPath:   *snapshot,
+		SnapshotEvery:  *snapshotEvery,
+		FlightRecorder: *flightDepth,
 	}
 	if *metricsAddr != "" {
+		// The HTTP server itself starts below, once the serve.Server
+		// exists to back the /debug/status and /debug/periods handlers.
 		cfg.Metrics = obs.NewRegistry()
 		obs.Publish("jointpmd", cfg.Metrics)
-		msrv, addr, err := obs.Serve(*metricsAddr, cfg.Metrics)
-		if err != nil {
-			return fmt.Errorf("serving -metrics-addr %s: %w", *metricsAddr, err)
-		}
-		fmt.Fprintf(os.Stderr, "jointpmd: metrics on http://%s/metrics\n", addr)
-		shut.Defer(msrv.Close)
 	}
 	if *decTrace != "" {
 		sink, err := obs.NewFileSink(*decTrace, obs.DefaultSinkDepth)
@@ -156,6 +158,36 @@ func run() (retErr error) {
 		return err
 	}
 	shut.Defer(srv.Close)
+
+	if *metricsAddr != "" {
+		msrv, addr, err := obs.ServeWith(*metricsAddr, cfg.Metrics, func(mux *http.ServeMux) {
+			mux.Handle("/debug/status", srv.StatusHandler())
+			mux.Handle("/debug/periods", srv.PeriodsHandler())
+		})
+		if err != nil {
+			return fmt.Errorf("serving -metrics-addr %s: %w", *metricsAddr, err)
+		}
+		fmt.Fprintf(os.Stderr, "jointpmd: metrics on http://%s/metrics\n", addr)
+		shut.Defer(msrv.Close)
+	}
+
+	// SIGQUIT dumps the flight recorders to stderr and keeps running —
+	// the live post-mortem for a daemon that looks wedged.
+	quitCh := make(chan os.Signal, 1)
+	signal.Notify(quitCh, syscall.SIGQUIT)
+	go func() {
+		for range quitCh {
+			fmt.Fprintln(os.Stderr, "jointpmd: SIGQUIT: flight-recorder dump")
+			if derr := srv.WriteFlightDump(os.Stderr); derr != nil {
+				fmt.Fprintf(os.Stderr, "jointpmd: flight dump: %v\n", derr)
+			}
+		}
+	}()
+	shut.Defer(func() error {
+		signal.Stop(quitCh)
+		close(quitCh)
+		return nil
+	})
 
 	names, err := srv.Restore()
 	if err != nil {

@@ -3,9 +3,11 @@ package main
 import (
 	"bufio"
 	"bytes"
+	"encoding/json"
 	"errors"
 	"io"
 	"net"
+	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -289,4 +291,204 @@ func TestSocketStream(t *testing.T) {
 	if err != nil && (!errors.As(err, &exitErr) || exitErr.ExitCode() != 143) {
 		t.Fatalf("Wait = %v, want clean exit or 143", err)
 	}
+}
+
+// TestDebugEndpointsAndSigquit is the introspection smoke: a live
+// daemon answers /debug/status and /debug/periods, exposes the latency
+// histograms and the energy split on /metrics, and dumps its flight
+// recorders to stderr on SIGQUIT without dying.
+func TestDebugEndpointsAndSigquit(t *testing.T) {
+	if testing.Short() {
+		t.Skip("re-execs a daemon run")
+	}
+	dir := t.TempDir()
+	trPath := filepath.Join(dir, "w.trc")
+	writeTestTrace(t, trPath)
+	traceBytes, err := os.ReadFile(trPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	args := append(daemonArgs(""), "-metrics-addr", "127.0.0.1:0", "-flight", "8")
+	cmd := exec.Command(os.Args[0], args...)
+	cmd.Env = append(os.Environ(), "JOINTPMD_BE_DAEMON=1")
+	stdin, err := cmd.StdinPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill()
+
+	var mu sync.Mutex
+	var decisions int
+	var errLines []string
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			if strings.HasPrefix(sc.Text(), "decision ") {
+				mu.Lock()
+				decisions++
+				mu.Unlock()
+			}
+		}
+	}()
+	scanErrDone := make(chan struct{})
+	go func() {
+		defer close(scanErrDone)
+		sc := bufio.NewScanner(stderr)
+		sc.Buffer(make([]byte, 1<<20), 1<<20)
+		for sc.Scan() {
+			mu.Lock()
+			errLines = append(errLines, sc.Text())
+			mu.Unlock()
+		}
+	}()
+	stderrHas := func(substr string) bool {
+		mu.Lock()
+		defer mu.Unlock()
+		for _, l := range errLines {
+			if strings.Contains(l, substr) {
+				return true
+			}
+		}
+		return false
+	}
+
+	// The daemon prints the bound metrics address on stderr.
+	var baseURL string
+	deadline := time.Now().Add(time.Minute)
+	for baseURL == "" {
+		mu.Lock()
+		for _, l := range errLines {
+			if rest, ok := strings.CutPrefix(l, "jointpmd: metrics on http://"); ok {
+				baseURL = "http://" + strings.TrimSuffix(rest, "/metrics")
+			}
+		}
+		mu.Unlock()
+		if time.Now().After(deadline) {
+			t.Fatal("daemon never announced its metrics address")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	if _, err := stdin.Write(traceBytes[:len(traceBytes)*6/10]); err != nil {
+		t.Fatal(err)
+	}
+	for {
+		mu.Lock()
+		n := decisions
+		mu.Unlock()
+		if n >= 3 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon closed only %d periods on the partial stream", n)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	get := func(path string) (int, []byte) {
+		resp, err := http.Get(baseURL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		return resp.StatusCode, body
+	}
+
+	// /debug/status: the d0 shard reports periods, a cumulative energy
+	// split, and decide quantiles from the flight recorder.
+	_, body := get("/debug/status")
+	var st struct {
+		FlightDepth int `json:"flight_depth"`
+		Shards      []struct {
+			Disk        string  `json:"disk"`
+			Periods     int64   `json:"periods"`
+			DecideP99Ms float64 `json:"decide_p99_ms"`
+			Energy      struct {
+				MemNapJ     float64 `json:"mem_nap_j"`
+				DiskActiveJ float64 `json:"disk_active_j"`
+			} `json:"energy"`
+		} `json:"shards"`
+	}
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatalf("status JSON: %v\n%s", err, body)
+	}
+	if st.FlightDepth != 8 || len(st.Shards) != 1 || st.Shards[0].Disk != "d0" {
+		t.Fatalf("status = %s", body)
+	}
+	if s := st.Shards[0]; s.Periods < 3 || s.Energy.MemNapJ <= 0 || s.DecideP99Ms <= 0 {
+		t.Errorf("d0 status = %+v", s)
+	}
+
+	// /debug/periods with filters; unknown disk 404s.
+	_, body = get("/debug/periods?disk=d0&n=2")
+	var pr struct {
+		Disks map[string][]struct {
+			Period int64 `json:"period"`
+		} `json:"disks"`
+	}
+	if err := json.Unmarshal(body, &pr); err != nil {
+		t.Fatalf("periods JSON: %v\n%s", err, body)
+	}
+	if len(pr.Disks["d0"]) != 2 {
+		t.Fatalf("periods?n=2 returned %d records:\n%s", len(pr.Disks["d0"]), body)
+	}
+	if code, _ := get("/debug/periods?disk=nope"); code != http.StatusNotFound {
+		t.Errorf("unknown disk status = %d, want 404", code)
+	}
+
+	// /metrics carries the lifecycle histograms and the energy split.
+	_, body = get("/metrics")
+	for _, want := range []string{
+		"jointpm_serve_decide_wall_s_p99 ",
+		"jointpm_serve_ingest_ns_per_ref_count ",
+		"jointpm_serve_boundary_to_emit_s_p50 ",
+		"jointpm_serve_energy_total_j ",
+		"jointpm_serve_energy_mem_nap_j ",
+		"jointpm_serve_uptime_s ",
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	// SIGQUIT dumps the flight recorder and the daemon keeps serving.
+	if err := cmd.Process.Signal(syscall.SIGQUIT); err != nil {
+		t.Fatal(err)
+	}
+	for !stderrHas("# flight disk=d0") {
+		if time.Now().After(deadline) {
+			t.Fatal("no flight dump on stderr after SIGQUIT")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if code, _ := get("/debug/status"); code != http.StatusOK {
+		t.Errorf("daemon stopped serving after SIGQUIT: status %d", code)
+	}
+
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	err = cmd.Wait()
+	var exitErr *exec.ExitError
+	if !errors.As(err, &exitErr) || exitErr.ExitCode() != 143 {
+		t.Fatalf("Wait = %v, want exit 143 (128+SIGTERM)", err)
+	}
+	<-scanErrDone
+	stdin.Close()
 }

@@ -17,6 +17,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"jointpm/internal/disk"
 	"jointpm/internal/lrusim"
@@ -98,7 +99,21 @@ type Params struct {
 	// call. Nil disables the journal; the sink itself is buffered and
 	// non-blocking, so an attached journal never stalls a decision.
 	DecisionTrace *obs.DecisionSink
+
+	// SpanHook receives the manager's lifecycle span timings: one
+	// ("decide", wall ns) per Decide/DecideIncremental call and one
+	// ("ingest", accumulated wall ns) per period at the boundary that
+	// consumes the ingested references. Nil disables span timing
+	// entirely — the hot path takes no clock readings, so the disabled
+	// configuration is byte-identical to a build without the hook.
+	SpanHook func(span string, ns int64)
 }
+
+// Span names delivered to Params.SpanHook.
+const (
+	SpanDecide = "decide"
+	SpanIngest = "ingest"
+)
 
 // DefaultParams returns the paper's Table II values for the given
 // hardware shape.
@@ -201,6 +216,13 @@ type Candidate struct {
 	MemPower      simtime.Watts // static nap power of enabled banks
 	TotalPower    simtime.Watts
 	Feasible      bool
+	// Energy-attribution inputs (see Decision.PricedLedger): the span the
+	// powers were normalised over, and — when spin-down won — the
+	// predicted spin-up count and standby seconds at the chosen timeout.
+	// SpinUps/StandbyS stay zero when spin-down is disabled.
+	SpanS    simtime.Seconds
+	SpinUps  int64
+	StandbyS simtime.Seconds
 }
 
 // Decision is the manager's output for the coming period.
@@ -232,6 +254,10 @@ type Manager struct {
 
 	hist    *lrusim.DepthHist // incremental observation state; nil until Ingest
 	scratch decideScratch
+
+	// ingestNs accumulates the current period's ingest span wall time;
+	// only touched when p.SpanHook is set (see Ingest/flushIngestSpan).
+	ingestNs int64
 }
 
 // NewManager validates params and creates a manager whose initial
@@ -261,6 +287,17 @@ func (m *Manager) Last() Decision { return m.last }
 // the kernel's input form (depth profile, compressed event stream); the
 // search itself is shared with DecideIncremental (see decideFrom).
 func (m *Manager) Decide(obs Observation) Decision {
+	hook := m.p.SpanHook
+	if hook == nil {
+		return m.decideBatch(obs)
+	}
+	start := time.Now()
+	d := m.decideBatch(obs)
+	hook(SpanDecide, time.Since(start).Nanoseconds())
+	return d
+}
+
+func (m *Manager) decideBatch(obs Observation) Decision {
 	m.met.decisions.Inc()
 	if len(obs.Log) == 0 || obs.CacheAccesses == 0 {
 		// Nothing happened: the cheapest configuration is the smallest
@@ -597,12 +634,19 @@ func (m *Manager) price(obs Observation, banks int, prof *depthProfile, interval
 	c.FitOK = tc.FitOK
 	c.TimeoutFloor = tc.Floor
 	c.FloorClamped = tc.Clamped
+	c.SpanS = simtime.Seconds(T)
 	c.Timeout = simtime.Seconds(math.Inf(1))
 	c.DiskPMPower = simtime.Watts(pd) // always-on default
-	pm := empiricalPMPower(intervals, float64(tc.Timeout), T, pd, tbe)
+	ts, h := empiricalPMStats(intervals, float64(tc.Timeout))
+	if ts > T {
+		ts = T
+	}
+	pm := pd*(T-ts)/T + pd*tbe*float64(h)/T
 	if pm < pd {
 		c.Timeout = tc.Timeout
 		c.DiskPMPower = simtime.Watts(pm)
+		c.SpinUps = int64(h)
+		c.StandbyS = simtime.Seconds(ts)
 	} else {
 		m.met.spinDisabled.Inc()
 		// Attribute the loss: if spin-down at the unconstrained
@@ -729,18 +773,25 @@ func EmpiricalPMPower(intervals []float64, to, T float64, spec disk.Spec) float6
 // for max(0, ℓ−to) of each interval and pays one break-even's worth of
 // transition energy for each interval longer than to.
 func empiricalPMPower(intervals []float64, to, T, pd, tbe float64) float64 {
-	var ts float64
-	var h int
+	ts, h := empiricalPMStats(intervals, to)
+	if ts > T {
+		ts = T
+	}
+	return pd*(T-ts)/T + pd*tbe*float64(h)/T
+}
+
+// empiricalPMStats folds the tail reductions behind empiricalPMPower:
+// the unclamped standby seconds Σ max(0, ℓ−to) and the spin-up count
+// |{ℓ > to}|, in the intervals' own (chronological) order so the sum is
+// bit-identical to the streaming kernel's TailStats fold.
+func empiricalPMStats(intervals []float64, to float64) (ts float64, h int) {
 	for _, l := range intervals {
 		if l > to {
 			ts += l - to
 			h++
 		}
 	}
-	if ts > T {
-		ts = T
-	}
-	return pd*(T-ts)/T + pd*tbe*float64(h)/T
+	return ts, h
 }
 
 // DiskPMPowerModel evaluates eq. 4 of the paper: the disk's static +

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"jointpm/internal/lrusim"
 	"jointpm/internal/pareto"
@@ -105,11 +106,30 @@ type decideScratch struct {
 // observation state. Records must arrive in time order. The accumulated
 // state is consumed (and cleared) by the next DecideIncremental or
 // DiscardPeriod call.
+//
+// With a SpanHook configured, Ingest accumulates its wall time into the
+// period's "ingest" span, flushed to the hook at the boundary that
+// consumes the references; without one it takes no clock readings.
 func (m *Manager) Ingest(rec lrusim.DepthRecord) {
 	if m.hist == nil {
 		m.hist = lrusim.NewDepthHist(m.p.bankPages(), m.p.TotalBanks, m.p.MinBanks, m.p.Window)
 	}
+	if m.p.SpanHook == nil {
+		m.hist.Observe(rec)
+		return
+	}
+	start := time.Now()
 	m.hist.Observe(rec)
+	m.ingestNs += time.Since(start).Nanoseconds()
+}
+
+// flushIngestSpan delivers the accumulated ingest span for the period
+// being consumed and resets the accumulator.
+func (m *Manager) flushIngestSpan() {
+	if hook := m.p.SpanHook; hook != nil {
+		hook(SpanIngest, m.ingestNs)
+		m.ingestNs = 0
+	}
 }
 
 // Hist exposes the incremental observation state for snapshot validation;
@@ -123,6 +143,7 @@ func (m *Manager) DiscardPeriod() {
 	if m.hist != nil {
 		m.hist.Reset()
 	}
+	m.flushIngestSpan()
 }
 
 // DecideIncremental is Decide over the references streamed through Ingest
@@ -133,6 +154,18 @@ func (m *Manager) DiscardPeriod() {
 // instead of O(references), and clears the ingested state for the next
 // period.
 func (m *Manager) DecideIncremental(o Observation) Decision {
+	hook := m.p.SpanHook
+	if hook == nil {
+		return m.decideIncremental(o)
+	}
+	m.flushIngestSpan()
+	start := time.Now()
+	d := m.decideIncremental(o)
+	hook(SpanDecide, time.Since(start).Nanoseconds())
+	return d
+}
+
+func (m *Manager) decideIncremental(o Observation) Decision {
 	m.met.decisions.Inc()
 	refs := int64(0)
 	if m.hist != nil {
@@ -140,7 +173,9 @@ func (m *Manager) DecideIncremental(o Observation) Decision {
 	}
 	if refs == 0 || o.CacheAccesses == 0 {
 		d := m.emptyDecision(o, int(refs))
-		m.DiscardPeriod()
+		if m.hist != nil {
+			m.hist.Reset()
+		}
 		return d
 	}
 	if o.CoalesceFactor < 1 {
@@ -683,6 +718,7 @@ func (m *Manager) priceStats(in *decideInput, banks int, nd, ni int64, covered f
 	c.FitOK = tc.FitOK
 	c.TimeoutFloor = tc.Floor
 	c.FloorClamped = tc.Clamped
+	c.SpanS = simtime.Seconds(T)
 	c.Timeout = simtime.Seconds(math.Inf(1))
 	c.DiskPMPower = simtime.Watts(pd) // always-on default
 	ts := tailTS
@@ -694,6 +730,8 @@ func (m *Manager) priceStats(in *decideInput, banks int, nd, ni int64, covered f
 	if pm < pd {
 		c.Timeout = tc.Timeout
 		c.DiskPMPower = simtime.Watts(pm)
+		c.SpinUps = tailH
+		c.StandbyS = simtime.Seconds(ts)
 	} else {
 		m.met.spinDisabled.Inc()
 		if m.met.rejectedDelay != nil && tc.Clamped {

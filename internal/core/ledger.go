@@ -1,0 +1,46 @@
+package core
+
+import (
+	"jointpm/internal/obs/flight"
+)
+
+// PricedLedger splits a decision's priced energy — the winning
+// candidate's estimated power integrated over the span it was
+// normalised on — into the flight recorder's attribution components:
+//
+//   - MemNapJ: the enabled banks' nap power over the span (the joint
+//     policy holds resident banks in nap; active/transition energy is a
+//     measured quantity the simulator attributes, not a priced one).
+//   - DiskSpinJ: one break-even's worth of transition energy per
+//     predicted spin-up, exactly eq. 4's transition term.
+//   - DiskActiveJ: the remaining disk energy — static power while
+//     spinning plus the dynamic (seek/transfer) energy.
+//   - DelayS: predicted delayed-request seconds, one spin-up latency
+//     per predicted spin-up.
+//
+// The candidate arithmetic prices the disk relative to its standby
+// floor (a spun-down disk costs nothing in eq. 4), so DiskStandbyJ is
+// always zero here; the simulator's measured ledger fills it. For a
+// non-fallback decision the components sum to TotalPower·SpanS exactly
+// (modulo float rounding) — the invariant TestPricedLedgerSums pins.
+//
+// Fallback, warmup, and empty periods were never priced: the ledger
+// degrades to the held configuration's nap floor over the configured
+// period so per-shard accumulation stays monotone and comparable.
+func (d Decision) PricedLedger(p Params) flight.Ledger {
+	c := d.Chosen
+	if d.Fallback || float64(c.SpanS) <= 0 {
+		return flight.Ledger{
+			MemNapJ: float64(p.MemSpec.NapPower()) * float64(d.Banks) * float64(p.Period),
+		}
+	}
+	T := float64(c.SpanS)
+	spinJ := float64(p.DiskSpec.StaticPower()) * float64(p.DiskSpec.BreakEven()) * float64(c.SpinUps)
+	return flight.Ledger{
+		MemNapJ:      float64(c.MemPower) * T,
+		DiskSpinJ:    spinJ,
+		DiskActiveJ:  (float64(c.DiskPMPower)+float64(c.DiskDynPower))*T - spinJ,
+		DiskStandbyJ: 0,
+		DelayS:       float64(c.SpinUps) * float64(p.DiskSpec.SpinUpTime),
+	}
+}

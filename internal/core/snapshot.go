@@ -132,5 +132,8 @@ func MergeParams(base, o Params) Params {
 	if o.DecisionTrace != nil {
 		base.DecisionTrace = o.DecisionTrace
 	}
+	if o.SpanHook != nil {
+		base.SpanHook = o.SpanHook
+	}
 	return base
 }

@@ -78,6 +78,13 @@ func WriteText(w io.Writer, r *Registry) error {
 		if _, err := fmt.Fprintf(w, "%s_sum %g\n%s_count %d\n", name, h.Sum, name, h.Count); err != nil {
 			return err
 		}
+		// Server-side quantile estimates for scrapers without
+		// histogram_quantile (jointpmctl, curl). +Inf and NaN are legal
+		// sample values in the text format.
+		if _, err := fmt.Fprintf(w, "%s_p50 %g\n%s_p99 %g\n",
+			name, h.Quantile(0.50), name, h.Quantile(0.99)); err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -96,6 +103,13 @@ func Handler(r *Registry) http.Handler {
 // returned server is shut down. It returns the bound address so callers
 // passing ":0" can discover the port.
 func Serve(addr string, r *Registry) (*http.Server, net.Addr, error) {
+	return ServeWith(addr, r, nil)
+}
+
+// ServeWith is Serve with a hook to mount extra handlers (debug
+// endpoints like /debug/periods) on the same mux before it starts
+// serving. register may be nil.
+func ServeWith(addr string, r *Registry, register func(*http.ServeMux)) (*http.Server, net.Addr, error) {
 	Publish("jointpm", r)
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
@@ -104,6 +118,9 @@ func Serve(addr string, r *Registry) (*http.Server, net.Addr, error) {
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", Handler(r))
 	mux.Handle("/debug/vars", expvar.Handler())
+	if register != nil {
+		register(mux)
+	}
 	srv := &http.Server{Handler: mux}
 	go func() { _ = srv.Serve(ln) }()
 	return srv, ln.Addr(), nil

@@ -29,6 +29,22 @@ func (f Float) MarshalJSON() ([]byte, error) {
 	return json.Marshal(v)
 }
 
+// UnmarshalJSON implements json.Unmarshaler: null decodes as +Inf,
+// the value every Float field in the schema (timeouts, period bounds)
+// means by it.
+func (f *Float) UnmarshalJSON(b []byte) error {
+	if string(b) == "null" {
+		*f = Float(math.Inf(1))
+		return nil
+	}
+	var v float64
+	if err := json.Unmarshal(b, &v); err != nil {
+		return err
+	}
+	*f = Float(v)
+	return nil
+}
+
 // ObservationSummary condenses what the manager saw at one period
 // boundary.
 type ObservationSummary struct {

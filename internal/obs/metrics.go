@@ -147,6 +147,57 @@ func (h *Histogram) Buckets() (bounds []float64, counts []int64) {
 	return h.bounds, counts
 }
 
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) by linear
+// interpolation inside the containing bucket, the standard
+// fixed-bucket estimate Prometheus's histogram_quantile computes
+// server-side. The first bucket interpolates from a lower bound of 0;
+// a quantile landing in the +Inf overflow bucket returns +Inf. Zero
+// observations (or a nil receiver) return NaN.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return math.NaN()
+	}
+	bounds, counts := h.Buckets()
+	return bucketQuantile(bounds, counts, q)
+}
+
+// bucketQuantile is the shared fixed-bucket quantile estimate behind
+// Histogram.Quantile and HistogramSnapshot.Quantile. counts are
+// non-cumulative with the final entry the +Inf overflow bucket.
+func bucketQuantile(bounds []float64, counts []int64, q float64) float64 {
+	var n int64
+	for _, c := range counts {
+		n += c
+	}
+	if n == 0 {
+		return math.NaN()
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(n)
+	var cum float64
+	for i, c := range counts {
+		cnt := float64(c)
+		if cum+cnt < rank || cnt == 0 {
+			cum += cnt
+			continue
+		}
+		if i >= len(bounds) {
+			return math.Inf(1)
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = bounds[i-1]
+		}
+		return lo + (bounds[i]-lo)*(rank-cum)/cnt
+	}
+	return math.Inf(1)
+}
+
 // Registry names and holds metrics. Registration (Counter, Gauge,
 // Histogram) takes a mutex and returns the same instance for the same
 // name, so instruments can be resolved once at construction time and
@@ -237,6 +288,12 @@ type HistogramSnapshot struct {
 	Counts []int64
 	Sum    float64
 	Count  int64
+}
+
+// Quantile estimates the q-quantile from the snapshot's buckets; NaN
+// when the histogram recorded nothing.
+func (h HistogramSnapshot) Quantile(q float64) float64 {
+	return bucketQuantile(h.Bounds, h.Counts, q)
 }
 
 // Snapshot is a point-in-time, name-sorted copy of every metric — the

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"math"
 	"strings"
 	"sync"
 	"testing"
@@ -145,5 +146,75 @@ func TestWriteText(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Fatalf("text output missing %q:\n%s", want, out)
 		}
+	}
+}
+
+// TestHistogramQuantile pins the interpolation rule: linear within the
+// containing bucket, lower bound 0 for the first bucket, +Inf for
+// quantiles landing in the overflow bucket, NaN when empty.
+func TestHistogramQuantile(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("q", []float64{1, 2, 4})
+	if !math.IsNaN(h.Quantile(0.5)) {
+		t.Error("empty histogram quantile not NaN")
+	}
+	// 10 samples in (1,2], 10 in (2,4].
+	for i := 0; i < 10; i++ {
+		h.Observe(1.5)
+		h.Observe(3)
+	}
+	if got := h.Quantile(0.5); got != 2 {
+		t.Errorf("p50 = %g, want 2 (rank 10 at bucket (1,2] upper edge)", got)
+	}
+	if got := h.Quantile(0.75); got != 3 {
+		t.Errorf("p75 = %g, want 3 (midpoint of (2,4])", got)
+	}
+	if got := h.Quantile(0); got != 1 {
+		t.Errorf("p0 = %g, want 1 (lower edge of first occupied bucket)", got)
+	}
+	h.Observe(100) // overflow bucket
+	if got := h.Quantile(0.999); !math.IsInf(got, 1) {
+		t.Errorf("p99.9 = %g, want +Inf (overflow bucket)", got)
+	}
+	var nilH *Histogram
+	if !math.IsNaN(nilH.Quantile(0.5)) {
+		t.Error("nil histogram quantile not NaN")
+	}
+
+	// 21 samples now: rank 15.75 interpolates inside (2,4].
+	snap := r.Snapshot()
+	if got := snap.Histograms[0].Quantile(0.75); got != 3.15 {
+		t.Errorf("snapshot p75 = %g, want 3.15", got)
+	}
+}
+
+// TestWriteTextHandScrape compares a one-histogram registry against a
+// hand-written Prometheus text scrape, byte for byte: cumulative
+// le-labelled buckets, the +Inf bucket, _sum/_count, and the
+// server-side p50/p99 estimates.
+func TestWriteTextHandScrape(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("serve.decide_wall_s", []float64{0.001, 0.01, 0.1})
+	// 3 in (0, 0.001], 1 in (0.001, 0.01], 1 overflow.
+	h.Observe(0.0005)
+	h.Observe(0.001)
+	h.Observe(0.0002)
+	h.Observe(0.005)
+	h.Observe(0.5)
+	var sb strings.Builder
+	if err := WriteText(&sb, r); err != nil {
+		t.Fatal(err)
+	}
+	want := `jointpm_serve_decide_wall_s_bucket{le="0.001"} 3
+jointpm_serve_decide_wall_s_bucket{le="0.01"} 4
+jointpm_serve_decide_wall_s_bucket{le="0.1"} 4
+jointpm_serve_decide_wall_s_bucket{le="+Inf"} 5
+jointpm_serve_decide_wall_s_sum 0.5067
+jointpm_serve_decide_wall_s_count 5
+jointpm_serve_decide_wall_s_p50 0.0008333333333333334
+jointpm_serve_decide_wall_s_p99 +Inf
+`
+	if got := sb.String(); got != want {
+		t.Errorf("scrape mismatch:\ngot:\n%swant:\n%s", got, want)
 	}
 }

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"jointpm/internal/core"
@@ -66,6 +67,18 @@ type Config struct {
 	DecisionTrace *obs.DecisionSink
 	Injector      *fault.Injector
 
+	// FlightRecorder enables a per-shard flight recorder holding the
+	// last N closed-period lifecycle records (spans + energy ledger),
+	// queryable through Status, PeriodsHandler, and WriteFlightDump.
+	// Zero or negative disables recording entirely.
+	FlightRecorder int
+
+	// Heartbeat is how often the server refreshes serve.uptime_s and
+	// serve.stream_lag_s while no records arrive, so an idle or stalled
+	// stream cannot leave them stale. Zero means 1s when Metrics is set;
+	// negative disables the ticker.
+	Heartbeat time.Duration
+
 	// OnDecision, when set, receives every published decision. Called
 	// from shard goroutines; must be safe for concurrent use.
 	OnDecision func(Decision)
@@ -113,6 +126,17 @@ type Server struct {
 	sem            chan struct{}
 	met            serveMetrics
 	started        time.Time
+	flightDepth    int // >0: per-shard flight recorders of this depth
+
+	// Stream-lag extrapolation state for the heartbeat: the last
+	// observed lag and the wall time it was observed at (UnixNano, 0
+	// until the first ObserveLag). While no records arrive, the true lag
+	// keeps growing by exactly the wall time elapsed since.
+	lagNs atomic.Int64
+	lagAt atomic.Int64
+
+	hbStop chan struct{}
+	hbWG   sync.WaitGroup
 
 	mu     sync.Mutex
 	shards map[string]*Shard
@@ -152,7 +176,48 @@ func New(cfg Config) (*Server, error) {
 		started:        time.Now(),
 		shards:         make(map[string]*Shard),
 	}
+	if cfg.FlightRecorder > 0 {
+		s.flightDepth = cfg.FlightRecorder
+	}
+	s.startHeartbeat()
 	return s, nil
+}
+
+// startHeartbeat keeps the liveness gauges fresh on an idle stream.
+func (s *Server) startHeartbeat() {
+	if s.cfg.Metrics == nil || s.cfg.Heartbeat < 0 {
+		return
+	}
+	every := s.cfg.Heartbeat
+	if every == 0 {
+		every = time.Second
+	}
+	s.hbStop = make(chan struct{})
+	s.hbWG.Add(1)
+	go func() {
+		defer s.hbWG.Done()
+		t := time.NewTicker(every)
+		defer t.Stop()
+		for {
+			select {
+			case <-s.hbStop:
+				return
+			case <-t.C:
+				s.heartbeat()
+			}
+		}
+	}()
+}
+
+// heartbeat refreshes serve.uptime_s and serve.stream_lag_s from wall
+// time: uptime always advances, and the stream lag grows by the wall
+// time elapsed since the newest ingested request was observed.
+func (s *Server) heartbeat() {
+	s.met.uptime.Set(time.Since(s.started).Seconds())
+	if at := s.lagAt.Load(); at != 0 {
+		lag := time.Duration(s.lagNs.Load()) + time.Since(time.Unix(0, at))
+		s.met.streamLag.Set(lag.Seconds())
+	}
 }
 
 // Params returns the manager parameters every shard runs with.
@@ -209,9 +274,13 @@ func (s *Server) cadenceCheckpoint() {
 }
 
 // ObserveLag publishes how far behind real time the newest ingested
-// request is; the daemon calls it per accepted request batch.
+// request is; the daemon calls it per accepted request batch. The
+// observation also re-bases the heartbeat's extrapolation, so the gauge
+// keeps growing truthfully if the stream then stalls.
 func (s *Server) ObserveLag(lag time.Duration) {
 	s.met.streamLag.Set(lag.Seconds())
+	s.lagNs.Store(int64(lag))
+	s.lagAt.Store(time.Now().UnixNano())
 }
 
 // Checkpoint atomically writes a snapshot of every shard to
@@ -282,8 +351,9 @@ func (s *Server) Restore() ([]string, error) {
 	return names, nil
 }
 
-// Close takes a final checkpoint and marks the server closed. Safe to
-// call once; the caller owns flushing any decision sink it attached.
+// Close stops the heartbeat, takes a final checkpoint, and marks the
+// server closed. Safe to call once; the caller owns flushing any
+// decision sink it attached.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	if s.closed {
@@ -292,5 +362,9 @@ func (s *Server) Close() error {
 	}
 	s.closed = true
 	s.mu.Unlock()
+	if s.hbStop != nil {
+		close(s.hbStop)
+		s.hbWG.Wait()
+	}
 	return s.Checkpoint()
 }

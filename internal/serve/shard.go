@@ -3,9 +3,12 @@ package serve
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"jointpm/internal/core"
 	"jointpm/internal/lrusim"
+	"jointpm/internal/obs"
+	"jointpm/internal/obs/flight"
 	"jointpm/internal/simtime"
 	"jointpm/internal/trace"
 )
@@ -54,8 +57,20 @@ type Shard struct {
 	// ckptDue marks that a period boundary hit the snapshot cadence.
 	// The checkpoint itself runs after sh.mu is released — Checkpoint
 	// re-locks every shard, so writing it from closePeriod would
-	// self-deadlock.
-	ckptDue bool
+	// self-deadlock. ckptPeriod remembers which period armed it so the
+	// checkpoint wall time can be amended onto that flight record.
+	ckptDue    bool
+	ckptPeriod int64
+
+	// Introspection state, process-local (never snapshotted — like
+	// /metrics, the flight recorder describes this process's life).
+	// timed is fixed at construction: with neither a recorder nor a
+	// metrics registry attached the shard takes no clock readings and
+	// its behaviour is identical to a build without the layer.
+	rec       *flight.Recorder
+	timed     bool
+	ingestNs  int64 // wall time spent serving this period's requests
+	fallbacks int64 // lifetime count of fallback decisions
 }
 
 func newShard(name string, srv *Server) (*Shard, error) {
@@ -74,8 +89,15 @@ func newShard(name string, srv *Server) (*Shard, error) {
 		curBanks:     mgr.Last().Banks,
 		curPages:     mgr.Last().Pages,
 	}
+	if srv.flightDepth > 0 {
+		sh.rec = flight.New(srv.flightDepth)
+	}
+	sh.timed = sh.rec != nil || srv.cfg.Metrics != nil
 	return sh, nil
 }
+
+// Flight returns the shard's flight recorder; nil when disabled.
+func (sh *Shard) Flight() *flight.Recorder { return sh.rec }
 
 // Name returns the disk name the shard serves.
 func (sh *Shard) Name() string { return sh.name }
@@ -106,14 +128,20 @@ func (sh *Shard) Ingest(req trace.Request) error {
 				return err
 			}
 		}
-		sh.serve(req)
+		if sh.timed {
+			start := time.Now()
+			sh.serve(req)
+			sh.ingestNs += time.Since(start).Nanoseconds()
+		} else {
+			sh.serve(req)
+		}
 		return nil
 	}()
-	due := sh.ckptDue
+	due, duePeriod := sh.ckptDue, sh.ckptPeriod
 	sh.ckptDue = false
 	sh.mu.Unlock()
 	if due && err == nil {
-		sh.srv.cadenceCheckpoint()
+		sh.dueCheckpoint(duePeriod)
 	}
 	return err
 }
@@ -132,13 +160,28 @@ func (sh *Shard) FinishTo(t simtime.Seconds) error {
 		}
 		return nil
 	}()
-	due := sh.ckptDue
+	due, duePeriod := sh.ckptDue, sh.ckptPeriod
 	sh.ckptDue = false
 	sh.mu.Unlock()
 	if due && err == nil {
-		sh.srv.cadenceCheckpoint()
+		sh.dueCheckpoint(duePeriod)
 	}
 	return err
+}
+
+// dueCheckpoint runs the cadence checkpoint outside the shard lock,
+// timing it and amending the wall time onto the period record that
+// armed it.
+func (sh *Shard) dueCheckpoint(period int64) {
+	if !sh.timed {
+		sh.srv.cadenceCheckpoint()
+		return
+	}
+	start := time.Now()
+	sh.srv.cadenceCheckpoint()
+	ns := time.Since(start).Nanoseconds()
+	sh.srv.met.checkpointWall.Observe(float64(ns) / 1e9)
+	sh.rec.AmendCheckpoint(sh.name, period, ns)
 }
 
 // serve references each page of the request, logging depths and
@@ -186,17 +229,29 @@ func (sh *Shard) serve(req trace.Request) {
 // closePeriod ends the current period: during warmup the manager's held
 // default is republished; afterwards the manager decides from the period
 // log under the server's decide semaphore. Called with sh.mu held.
+//
+// With introspection enabled (sh.timed) the boundary is traced: Decide
+// wall time, per-reference ingest cost, and boundary-to-emit latency
+// land in the serve histograms, the decision's priced energy ledger is
+// accumulated, and a PeriodRecord is cut into the flight recorder.
 func (sh *Shard) closePeriod() error {
 	idx := sh.periodIdx + 1
 	if sh.srv.cfg.Injector.CrashAtPeriodBoundary(idx) {
 		return ErrCrashInjected
 	}
+	var boundaryStart time.Time
+	if sh.timed {
+		boundaryStart = time.Now()
+	}
 	end := sh.nextBoundary
 	start := end - sh.period
+	refs := sh.cacheAcc
 
 	incremental := sh.srv.cfg.Decide == core.ModeIncremental
+	warmup := idx <= int64(sh.srv.cfg.WarmupPeriods)
 	var dec core.Decision
-	if idx > int64(sh.srv.cfg.WarmupPeriods) {
+	var decideNs int64
+	if !warmup {
 		coalesce := 1.0
 		if sh.reqRuns > 0 {
 			coalesce = float64(sh.misses) / float64(sh.reqRuns)
@@ -209,11 +264,18 @@ func (sh *Shard) closePeriod() error {
 			CurrentBanks:   sh.curBanks,
 		}
 		sh.srv.acquire()
+		var decideStart time.Time
+		if sh.timed {
+			decideStart = time.Now()
+		}
 		if incremental {
 			dec = sh.mgr.DecideIncremental(obs)
 		} else {
 			obs.Log = sh.periodLog
 			dec = sh.mgr.Decide(obs)
+		}
+		if sh.timed {
+			decideNs = time.Since(decideStart).Nanoseconds()
 		}
 		sh.srv.release()
 		sh.curBanks = dec.Banks
@@ -225,6 +287,8 @@ func (sh *Shard) closePeriod() error {
 		dec = sh.mgr.Last()
 	}
 
+	ingestNs := sh.ingestNs
+	sh.ingestNs = 0
 	sh.periodLog = sh.periodLog[:0]
 	sh.cacheAcc = 0
 	sh.misses = 0
@@ -232,9 +296,49 @@ func (sh *Shard) closePeriod() error {
 	sh.periodIdx = idx
 	sh.nextBoundary += sh.period
 
+	var emitStart time.Time
+	if sh.timed {
+		emitStart = time.Now()
+	}
 	sh.srv.publish(Decision{Disk: sh.name, Period: idx, Decision: dec})
+	if dec.Fallback {
+		sh.fallbacks++
+		sh.srv.met.fallbacks.Inc()
+	}
+	if sh.timed {
+		emitNs := time.Since(emitStart).Nanoseconds()
+		led := dec.PricedLedger(sh.srv.params)
+		met := &sh.srv.met
+		if !warmup {
+			met.decideWall.Observe(float64(decideNs) / 1e9)
+		}
+		if refs > 0 {
+			met.ingestPerRef.Observe(float64(ingestNs) / float64(refs))
+		}
+		met.boundaryToEmit.Observe(time.Since(boundaryStart).Seconds())
+		met.addEnergy(led)
+		if sh.rec != nil {
+			sh.rec.Record(flight.PeriodRecord{
+				Disk:     sh.name,
+				Period:   idx,
+				Mode:     sh.srv.cfg.Decide.String(),
+				StartS:   obs.Float(start),
+				EndS:     obs.Float(end),
+				Refs:     refs,
+				IngestNs: ingestNs,
+				DecideNs: decideNs,
+				EmitNs:   emitNs,
+				Banks:    dec.Banks,
+				TimeoutS: obs.Float(dec.Timeout),
+				Fallback: dec.Fallback,
+				Warmup:   warmup,
+				Energy:   led,
+			})
+		}
+	}
 	if every := sh.srv.cfg.SnapshotEvery; every > 0 && sh.srv.cfg.SnapshotPath != "" && idx%every == 0 {
 		sh.ckptDue = true
+		sh.ckptPeriod = idx
 	}
 	return nil
 }

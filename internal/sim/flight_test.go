@@ -1,0 +1,133 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"jointpm/internal/core"
+	"jointpm/internal/obs"
+	"jointpm/internal/obs/flight"
+	"jointpm/internal/policy"
+	"jointpm/internal/simtime"
+)
+
+// TestFlightMeasuredLedger: the engine's flight records carry the
+// measured per-period energy split, and the split sums — across every
+// record and within each record — to what the power models actually
+// charged the run.
+func TestFlightMeasuredLedger(t *testing.T) {
+	tr := testWorkload(t, float64(simtime.MB), 1800)
+	rec := flight.New(64)
+	reg := obs.NewRegistry()
+	cfg := testConfig(tr, policy.Joint(128*simtime.MB))
+	cfg.Decide = core.ModeIncremental
+	cfg.Flight = rec
+	cfg.Metrics = reg
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	periods := rec.Total()
+	if periods < 10 {
+		t.Fatalf("recorder cut %d records, want ≥ 10", periods)
+	}
+	if int(periods) != len(res.Periods) {
+		t.Errorf("recorder has %d records, result has %d periods", periods, len(res.Periods))
+	}
+
+	// Every record: measured components are non-negative, standby floor
+	// and nap accrue every window, and spans were measured (incremental
+	// mode feeds both ingest and decide spans once traffic flows).
+	recs := rec.Last(0)
+	for i, r := range recs {
+		l := r.Energy
+		for name, v := range map[string]float64{
+			"mem_active": l.MemActiveJ, "mem_nap": l.MemNapJ, "mem_transition": l.MemTransitionJ,
+			"disk_active": l.DiskActiveJ, "disk_standby": l.DiskStandbyJ, "disk_spin": l.DiskSpinJ,
+			"delay": l.DelayS,
+		} {
+			if v < 0 {
+				t.Errorf("record %d: negative %s = %g", i, name, v)
+			}
+		}
+		if l.DiskStandbyJ == 0 || l.MemNapJ == 0 {
+			t.Errorf("record %d: floor components empty: %+v", i, l)
+		}
+		if r.Mode != "incremental" || r.Disk != "sim" {
+			t.Errorf("record %d: mode %q disk %q", i, r.Mode, r.Disk)
+		}
+		if r.Refs > 0 && (r.IngestNs <= 0 || r.DecideNs <= 0) {
+			t.Errorf("record %d: spans ingest=%dns decide=%dns with %d refs", i, r.IngestNs, r.DecideNs, r.Refs)
+		}
+		if i > 0 && r.Period != recs[i-1].Period+1 {
+			t.Errorf("record %d: period %d after %d", i, r.Period, recs[i-1].Period)
+		}
+	}
+
+	// The ledger sum reproduces the run's total measured energy (no
+	// warmup window, trace length a whole number of periods — nothing
+	// falls outside the recorded windows).
+	sum := rec.Sum()
+	wantTotal := float64(res.DiskEnergy.Total() + res.MemEnergy.Total())
+	if rel := math.Abs(sum.TotalJ()-wantTotal) / wantTotal; rel > 1e-9 {
+		t.Errorf("ledger sum %g J vs run total %g J (rel %g)", sum.TotalJ(), wantTotal, rel)
+	}
+	if want := float64(res.MemEnergy.Total()); math.Abs(sum.MemJ()-want) > 1e-9*want {
+		t.Errorf("ledger mem %g J vs run mem %g J", sum.MemJ(), want)
+	}
+	if want := float64(res.DiskEnergy.Total()); math.Abs(sum.DiskJ()-want) > 1e-9*want {
+		t.Errorf("ledger disk %g J vs run disk %g J", sum.DiskJ(), want)
+	}
+	if want := float64(res.TotalLatency); math.Abs(sum.DelayS-want) > 1e-9 {
+		t.Errorf("ledger delay %g s vs run latency %g s", sum.DelayS, want)
+	}
+
+	// The /metrics split gauges hold the last window's components.
+	lastRec := recs[len(recs)-1]
+	if got := reg.Gauge("sim.period.mem_nap_j").Value(); got != lastRec.Energy.MemNapJ {
+		t.Errorf("sim.period.mem_nap_j = %g, last record %g", got, lastRec.Energy.MemNapJ)
+	}
+	if got := reg.Gauge("sim.period.disk_standby_j").Value(); got != lastRec.Energy.DiskStandbyJ {
+		t.Errorf("sim.period.disk_standby_j = %g, last record %g", got, lastRec.Energy.DiskStandbyJ)
+	}
+
+	// The pre-existing coarse gauges still agree with the split.
+	coarseDisk := reg.Gauge("sim.period.disk_energy_j").Value()
+	if want := lastRec.Energy.DiskJ(); math.Abs(coarseDisk-want) > 1e-9*want {
+		t.Errorf("sim.period.disk_energy_j = %g, split disk = %g", coarseDisk, want)
+	}
+}
+
+// TestFlightBatchModeSpans: batch mode has no ingest spans (the log is
+// handed over whole) but still times Decide; disabling the recorder
+// leaves the run's result bit-identical.
+func TestFlightBatchModeSpans(t *testing.T) {
+	tr := testWorkload(t, float64(simtime.MB), 1800)
+	rec := flight.New(16)
+	cfg := testConfig(tr, policy.Joint(128*simtime.MB))
+	cfg.Flight = rec
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range rec.Last(0) {
+		if r.IngestNs != 0 {
+			t.Errorf("record %d: batch mode accumulated ingest span %d ns", i, r.IngestNs)
+		}
+		if r.Refs > 0 && r.DecideNs <= 0 {
+			t.Errorf("record %d: no decide span", i)
+		}
+		if r.Mode != "batch" {
+			t.Errorf("record %d: mode %q", i, r.Mode)
+		}
+	}
+
+	bare, err := Run(testConfig(tr, policy.Joint(128*simtime.MB)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bare.DiskEnergy != res.DiskEnergy || bare.MemEnergy != res.MemEnergy ||
+		bare.TotalLatency != res.TotalLatency {
+		t.Error("attaching a flight recorder changed the simulation result")
+	}
+}

@@ -3,6 +3,7 @@ package sim
 import (
 	"jointpm/internal/disk"
 	"jointpm/internal/obs"
+	"jointpm/internal/obs/flight"
 )
 
 // engineMetrics caches the engine's instruments, resolved once per run.
@@ -30,7 +31,29 @@ type engineMetrics struct {
 	periodDelayed     *obs.Gauge // sim.period.delayed
 	periodBanks       *obs.Gauge // sim.period.banks
 
+	// Measured per-period energy split (the ledger components; the
+	// coarser gauges above predate the split and are kept for
+	// compatibility with existing dashboards).
+	periodMemActive   *obs.Gauge // sim.period.mem_active_j
+	periodMemNap      *obs.Gauge // sim.period.mem_nap_j
+	periodMemTrans    *obs.Gauge // sim.period.mem_transition_j
+	periodDiskActive  *obs.Gauge // sim.period.disk_active_j
+	periodDiskStandby *obs.Gauge // sim.period.disk_standby_j
+	periodDiskSpin    *obs.Gauge // sim.period.disk_spin_j
+	periodDelayS      *obs.Gauge // sim.period.delay_s
+
 	periodUtil *obs.Histogram // sim.period.utilization
+}
+
+// setEnergySplit publishes one period's measured component ledger.
+func (m *engineMetrics) setEnergySplit(l flight.Ledger) {
+	m.periodMemActive.Set(l.MemActiveJ)
+	m.periodMemNap.Set(l.MemNapJ)
+	m.periodMemTrans.Set(l.MemTransitionJ)
+	m.periodDiskActive.Set(l.DiskActiveJ)
+	m.periodDiskStandby.Set(l.DiskStandbyJ)
+	m.periodDiskSpin.Set(l.DiskSpinJ)
+	m.periodDelayS.Set(l.DelayS)
 }
 
 func newEngineMetrics(r *obs.Registry) engineMetrics {
@@ -49,6 +72,13 @@ func newEngineMetrics(r *obs.Registry) engineMetrics {
 		periodTransEnergy: r.Gauge("sim.period.transition_energy_j"),
 		periodDelayed:     r.Gauge("sim.period.delayed"),
 		periodBanks:       r.Gauge("sim.period.banks"),
+		periodMemActive:   r.Gauge("sim.period.mem_active_j"),
+		periodMemNap:      r.Gauge("sim.period.mem_nap_j"),
+		periodMemTrans:    r.Gauge("sim.period.mem_transition_j"),
+		periodDiskActive:  r.Gauge("sim.period.disk_active_j"),
+		periodDiskStandby: r.Gauge("sim.period.disk_standby_j"),
+		periodDiskSpin:    r.Gauge("sim.period.disk_spin_j"),
+		periodDelayS:      r.Gauge("sim.period.delay_s"),
 		periodUtil:        r.Histogram("sim.period.utilization", []float64{0.01, 0.02, 0.05, 0.1, 0.2, 0.5, 0.98}),
 	}
 }

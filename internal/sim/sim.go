@@ -17,6 +17,7 @@ import (
 	"jointpm/internal/lrusim"
 	"jointpm/internal/mem"
 	"jointpm/internal/obs"
+	"jointpm/internal/obs/flight"
 	"jointpm/internal/policy"
 	"jointpm/internal/simtime"
 	"jointpm/internal/trace"
@@ -80,6 +81,15 @@ type Config struct {
 	// as JSONL; nil disables it. The engine does not close the sink —
 	// the caller that opened it flushes it on exit.
 	DecisionTrace *obs.DecisionSink
+
+	// Flight, when non-nil, receives one flight.PeriodRecord per
+	// adaptation period carrying the *measured* energy split from the
+	// disk and memory models (the daemon's recorder carries the priced
+	// split instead — comparing the two is how a model drift is
+	// caught). For the joint method the record also carries the
+	// manager's ingest/decide span timings. A recorder must not be
+	// shared across concurrent runs.
+	Flight *flight.Recorder
 }
 
 func (c *Config) withDefaults() (Config, error) {
@@ -220,7 +230,7 @@ type engine struct {
 	disk  *disk.Disk
 	mem   *mem.Memory
 
-	adaptive *policy.AdaptiveTimeout
+	adaptive    *policy.AdaptiveTimeout
 	manager     *core.Manager
 	incremental bool // stream refs through Ingest; decide via DecideIncremental
 	curBanks    int  // banks actually enabled (≠ decision under fault injection)
@@ -244,6 +254,13 @@ type engine struct {
 	periodCacheAcc int64
 	periodDelayed  int64
 	lastPageMisses int64
+
+	// flight-record inputs: latency delta for the measured ledger, and
+	// the manager's span timings accumulated since the last boundary
+	// (fed by the SpanHook installed when a recorder is attached).
+	lastTotalLatency simtime.Seconds
+	spanIngestNs     int64
+	spanDecideNs     int64
 
 	// warmup snapshot, subtracted from the final result
 	warmupTaken bool
@@ -326,6 +343,24 @@ func newEngine(cfg Config) (*engine, error) {
 		}
 		if cfg.DecisionTrace != nil {
 			p.DecisionTrace = cfg.DecisionTrace
+		}
+		if cfg.Flight.Enabled() {
+			// Accumulate the manager's span timings for the period's
+			// flight record; chain to any caller-installed hook. Timing
+			// never feeds back into decisions, so golden traces are
+			// unaffected.
+			prev := p.SpanHook
+			p.SpanHook = func(span string, ns int64) {
+				switch span {
+				case core.SpanIngest:
+					e.spanIngestNs += ns
+				case core.SpanDecide:
+					e.spanDecideNs = ns
+				}
+				if prev != nil {
+					prev(span, ns)
+				}
+			}
 		}
 		mgr, err := core.NewManager(p)
 		if err != nil {
@@ -573,6 +608,39 @@ func (e *engine) closePeriod(t simtime.Seconds) {
 		// incremental counterpart of clearing the period log below.
 		e.manager.DiscardPeriod()
 	}
+	// Measured energy-attribution ledger for the window: component
+	// deltas straight from the power models, not the manager's priced
+	// estimate.
+	led := flight.Ledger{
+		MemActiveJ:     float64(me.Dynamic - e.lastMemEnergy.Dynamic),
+		MemNapJ:        float64(me.Static - e.lastMemEnergy.Static),
+		MemTransitionJ: float64(me.Transition - e.lastMemEnergy.Transition),
+		DiskActiveJ:    float64(de.Dynamic + de.StaticOn - e.lastDiskEnergy.Dynamic - e.lastDiskEnergy.StaticOn),
+		DiskStandbyJ:   float64(de.Floor - e.lastDiskEnergy.Floor),
+		DiskSpinJ:      float64(de.Transition - e.lastDiskEnergy.Transition),
+		DelayS:         float64(e.res.TotalLatency - e.lastTotalLatency),
+	}
+	e.obsm.setEnergySplit(led)
+	if e.cfg.Flight.Enabled() {
+		e.cfg.Flight.Record(flight.PeriodRecord{
+			Disk:     "sim",
+			Period:   int64(e.periodIdx) + 1,
+			Mode:     e.cfg.Decide.String(),
+			StartS:   obs.Float(stat.Start),
+			EndS:     obs.Float(stat.End),
+			Refs:     stat.CacheAccesses,
+			IngestNs: e.spanIngestNs,
+			DecideNs: e.spanDecideNs,
+			Banks:    stat.Banks,
+			TimeoutS: obs.Float(stat.Timeout),
+			Fallback: stat.Decision != nil && stat.Decision.Fallback,
+			Warmup:   t <= e.cfg.Warmup,
+			Energy:   led,
+		})
+	}
+	e.spanIngestNs, e.spanDecideNs = 0, 0
+	e.lastTotalLatency = e.res.TotalLatency
+
 	e.obsm.periodBanks.Set(float64(stat.Banks))
 	e.periodLog = e.periodLog[:0]
 
