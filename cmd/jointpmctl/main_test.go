@@ -15,22 +15,26 @@ import (
 // +Inf "spin-down disabled" case), and the counter line.
 func TestRenderStatusGolden(t *testing.T) {
 	st := serve.Status{
-		UptimeS:     632.4,
-		StreamLagS:  0.418,
-		DecideMode:  "incremental",
-		PeriodS:     120,
-		FlightDepth: 64,
+		UptimeS:      632.4,
+		StreamLagS:   0.418,
+		RefsIngested: 419552,
+		RefsPerSec:   663.4,
+		DecideMode:   "incremental",
+		PeriodS:      120,
+		FlightDepth:  64,
 		Shards: []serve.ShardStatus{
 			{
 				Disk: "sda", Periods: 15, Consumed: 52340, Banks: 80,
 				TimeoutS: 11.7, Fallbacks: 0,
+				RefsIngested: 418720, RingLen: 1024, RingCap: 16384,
 				DecideP50Ms: 0.41, DecideP99Ms: 1.27, FlightTotal: 15,
 				Energy: flight.Ledger{MemNapJ: 1234.56, DiskActiveJ: 301.2, DiskSpinJ: 44.1, DelayS: 12.6},
 			},
 			{
 				Disk: "sdb", Periods: 3, Consumed: 104, Banks: 128,
 				TimeoutS: obs.Float(math.Inf(1)), Fallbacks: 2,
-				DecideP50Ms: 0.05, DecideP99Ms: 0.05, FlightTotal: 3,
+				RefsIngested: 832,
+				DecideP50Ms:  0.05, DecideP99Ms: 0.05, FlightTotal: 3,
 				Energy: flight.Ledger{MemNapJ: 250, DiskActiveJ: 75.5},
 			},
 		},
@@ -44,11 +48,11 @@ func TestRenderStatusGolden(t *testing.T) {
 	if err := renderStatus(&buf, "127.0.0.1:7071", st); err != nil {
 		t.Fatal(err)
 	}
-	want := "jointpmd 127.0.0.1:7071  up 632s  lag 0.42s  decide incremental  period 120s  flight 64 periods\n" +
+	want := "jointpmd 127.0.0.1:7071  up 632s  lag 0.42s  ingest 663 refs/s  decide incremental  period 120s  flight 64 periods\n" +
 		"\n" +
-		"DISK  PERIODS  CONSUMED  BANKS  TIMEOUT  FALLBK  DECIDE p50/p99   MEM J   DISK J  DELAY s\n" +
-		"sda   15       52340     80     11.70s   0       0.41ms / 1.27ms  1234.6  345.3   12.60\n" +
-		"sdb   3        104       128    inf      2       0.05ms / 0.05ms  250.0   75.5    0.00\n" +
+		"DISK  PERIODS  CONSUMED  REFS    RING        BANKS  TIMEOUT  FALLBK  DECIDE p50/p99   MEM J   DISK J  DELAY s\n" +
+		"sda   15       52340     418720  1024/16384  80     11.70s   0       0.41ms / 1.27ms  1234.6  345.3   12.60\n" +
+		"sdb   3        104       832     -           128    inf      2       0.05ms / 0.05ms  250.0   75.5    0.00\n" +
 		"\n" +
 		"counters: fault.disk.trips=1  serve.fallbacks=2\n"
 	if got := buf.String(); got != want {

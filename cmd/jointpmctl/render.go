@@ -20,14 +20,15 @@ func renderStatus(w io.Writer, addr string, st serve.Status) error {
 	if st.FlightDepth > 0 {
 		flight = fmt.Sprintf("%d periods", st.FlightDepth)
 	}
-	fmt.Fprintf(w, "jointpmd %s  up %.0fs  lag %.2fs  decide %s  period %.0fs  flight %s\n\n",
-		addr, st.UptimeS, st.StreamLagS, st.DecideMode, st.PeriodS, flight)
+	fmt.Fprintf(w, "jointpmd %s  up %.0fs  lag %.2fs  ingest %.0f refs/s  decide %s  period %.0fs  flight %s\n\n",
+		addr, st.UptimeS, st.StreamLagS, st.RefsPerSec, st.DecideMode, st.PeriodS, flight)
 
 	tw := tabwriter.NewWriter(w, 2, 8, 2, ' ', 0)
-	fmt.Fprintln(tw, "DISK\tPERIODS\tCONSUMED\tBANKS\tTIMEOUT\tFALLBK\tDECIDE p50/p99\tMEM J\tDISK J\tDELAY s")
+	fmt.Fprintln(tw, "DISK\tPERIODS\tCONSUMED\tREFS\tRING\tBANKS\tTIMEOUT\tFALLBK\tDECIDE p50/p99\tMEM J\tDISK J\tDELAY s")
 	for _, sh := range st.Shards {
-		fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%s\t%d\t%s / %s\t%.1f\t%.1f\t%.2f\n",
-			sh.Disk, sh.Periods, sh.Consumed, sh.Banks, formatTimeout(sh.TimeoutS),
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%s\t%d\t%s\t%d\t%s / %s\t%.1f\t%.1f\t%.2f\n",
+			sh.Disk, sh.Periods, sh.Consumed, sh.RefsIngested, formatRing(sh.RingLen, sh.RingCap),
+			sh.Banks, formatTimeout(sh.TimeoutS),
 			sh.Fallbacks, formatMs(sh.DecideP50Ms), formatMs(sh.DecideP99Ms),
 			sh.Energy.MemJ(), sh.Energy.DiskJ(), sh.Energy.DelayS)
 	}
@@ -93,6 +94,15 @@ func renderPeriods(w io.Writer, pr serve.PeriodsResponse) error {
 		}
 	}
 	return tw.Flush()
+}
+
+// formatRing renders ring occupancy as buffered/capacity; "-" when no
+// stream is attached (capacity 0).
+func formatRing(n, capacity int) string {
+	if capacity == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%d/%d", n, capacity)
 }
 
 func formatTimeout(t obs.Float) string {

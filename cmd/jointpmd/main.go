@@ -25,10 +25,8 @@ package main
 
 import (
 	"bufio"
-	"errors"
 	"flag"
 	"fmt"
-	"io"
 	"math"
 	"net"
 	"net/http"
@@ -37,7 +35,6 @@ import (
 	"strings"
 	"sync"
 	"syscall"
-	"time"
 
 	"jointpm/internal/core"
 	"jointpm/internal/fault"
@@ -72,6 +69,7 @@ func run() (retErr error) {
 		metricsAddr   = flag.String("metrics-addr", "", "serve /metrics, /debug/vars, /debug/status, and /debug/periods on this address")
 		decTrace      = flag.String("decision-trace", "", "append one JSON line per joint decision to this file")
 		decideMode    = flag.String("decide", "incremental", "observation path per shard: batch or incremental (bit-identical decisions)")
+		refitDrift    = flag.Float64("refit-drift", 0, "steady-state refit drift-hold fraction (0: full slate search every period; 0.05 recommended)")
 		flightDepth   = flag.Int("flight", flight.DefaultDepth, "per-shard flight recorder depth in periods (0: disabled)")
 	)
 	flag.Parse()
@@ -116,6 +114,7 @@ func run() (retErr error) {
 		SnapshotPath:   *snapshot,
 		SnapshotEvery:  *snapshotEvery,
 		FlightRecorder: *flightDepth,
+		RefitDriftFrac: *refitDrift,
 	}
 	if *metricsAddr != "" {
 		// The HTTP server itself starts below, once the serve.Server
@@ -202,8 +201,26 @@ func run() (retErr error) {
 			name, sh.Periods(), sh.Consumed())
 	}
 
+	opt := serve.StreamOptions{
+		Tick: *tick,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "jointpmd: "+format+"\n", args...)
+		},
+	}
 	if *listen != "" {
-		return serveListener(srv, shut, *listen, *tick)
+		network, address := "tcp", *listen
+		if path, ok := strings.CutPrefix(*listen, "unix:"); ok {
+			network, address = "unix", path
+			// A previous unclean exit can leave the socket file behind.
+			os.Remove(path)
+		}
+		ln, err := net.Listen(network, address)
+		if err != nil {
+			return fmt.Errorf("listening on %s: %w", *listen, err)
+		}
+		shut.Defer(ln.Close)
+		fmt.Fprintf(os.Stderr, "jointpmd: listening on %s\n", ln.Addr())
+		return srv.ServeListener(ln, opt)
 	}
 	sh, err := srv.Shard(*diskName)
 	if err != nil {
@@ -213,7 +230,7 @@ func run() (retErr error) {
 	if err != nil {
 		return fmt.Errorf("reading stdin: %w", err)
 	}
-	return streamShard(srv, sh, st, *tick)
+	return srv.ServeStream(sh, st, opt)
 }
 
 func formatTimeout(t simtime.Seconds) string {
@@ -223,147 +240,7 @@ func formatTimeout(t simtime.Seconds) string {
 	return fmt.Sprintf("%.3fs", float64(t))
 }
 
-// streamShard pumps one stream into a shard. Streams replay from their
-// origin, so a restored shard's already-consumed prefix is skipped —
-// the warm-restart contract. The wall ticker keeps closing periods
-// through idle stretches; stream lag is the wall clock's lead over the
-// newest ingested request's stream time.
-func streamShard(srv *serve.Server, sh *serve.Shard, st trace.Stream, tick time.Duration) error {
-	skip := sh.Consumed()
-	if skip > 0 {
-		fmt.Fprintf(os.Stderr, "jointpmd: disk=%s skipping %d replayed requests\n", sh.Name(), skip)
-	}
-	clock := &idleClock{sh: sh}
-	if tick > 0 {
-		stop := clock.run(tick)
-		defer stop()
-	}
-	start := time.Now()
-	var n int64
-	for {
-		req, err := st.Next()
-		if err == io.EOF {
-			break
-		}
-		if err != nil {
-			return fmt.Errorf("disk %s: stream: %w", sh.Name(), err)
-		}
-		n++
-		if n <= skip {
-			continue
-		}
-		if err := sh.Ingest(req); err != nil {
-			return fmt.Errorf("disk %s: %w", sh.Name(), err)
-		}
-		clock.advanceTo(req.Time)
-		srv.ObserveLag(time.Since(start) - time.Duration(float64(req.Time)*float64(time.Second)))
-	}
-	if d := st.Header().Duration; d > 0 {
-		if err := sh.FinishTo(d); err != nil {
-			return fmt.Errorf("disk %s: %w", sh.Name(), err)
-		}
-	}
-	return nil
-}
-
-// idleClock maps wall ticks onto a shard's stream clock so decisions
-// keep flowing when the stream goes quiet: each tick advances the
-// clock by the tick's wall length and closes any crossed periods.
-// Traffic snaps the clock forward to the newest request time.
-type idleClock struct {
-	sh *serve.Shard
-
-	mu sync.Mutex
-	t  simtime.Seconds
-}
-
-func (c *idleClock) advanceTo(t simtime.Seconds) {
-	c.mu.Lock()
-	if t > c.t {
-		c.t = t
-	}
-	c.mu.Unlock()
-}
-
-func (c *idleClock) run(tick time.Duration) (stop func()) {
-	done := make(chan struct{})
-	ticker := time.NewTicker(tick)
-	go func() {
-		for {
-			select {
-			case <-done:
-				return
-			case <-ticker.C:
-				c.mu.Lock()
-				c.t += simtime.Seconds(tick.Seconds())
-				t := c.t
-				c.mu.Unlock()
-				if err := c.sh.FinishTo(t); err != nil {
-					fmt.Fprintf(os.Stderr, "jointpmd: disk %s: tick: %v\n", c.sh.Name(), err)
-					return
-				}
-			}
-		}
-	}()
-	return func() {
-		ticker.Stop()
-		close(done)
-	}
-}
-
-// serveListener accepts one stream per connection: a "disk <name>\n"
-// preamble, then a binary or text trace.
-func serveListener(srv *serve.Server, shut *shutdown.Stack, addr string, tick time.Duration) error {
-	network, address := "tcp", addr
-	if path, ok := strings.CutPrefix(addr, "unix:"); ok {
-		network, address = "unix", path
-		// A previous unclean exit can leave the socket file behind.
-		os.Remove(path)
-	}
-	ln, err := net.Listen(network, address)
-	if err != nil {
-		return fmt.Errorf("listening on %s: %w", addr, err)
-	}
-	shut.Defer(ln.Close)
-	fmt.Fprintf(os.Stderr, "jointpmd: listening on %s\n", ln.Addr())
-	var wg sync.WaitGroup
-	defer wg.Wait()
-	for {
-		conn, err := ln.Accept()
-		if err != nil {
-			if errors.Is(err, net.ErrClosed) {
-				return nil
-			}
-			return err
-		}
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			defer conn.Close()
-			if err := handleConn(srv, conn, tick); err != nil {
-				fmt.Fprintf(os.Stderr, "jointpmd: %s: %v\n", conn.RemoteAddr(), err)
-			}
-		}()
-	}
-}
-
-func handleConn(srv *serve.Server, conn net.Conn, tick time.Duration) error {
-	rd := bufio.NewReader(conn)
-	line, err := rd.ReadString('\n')
-	if err != nil {
-		return fmt.Errorf("reading preamble: %w", err)
-	}
-	name, ok := strings.CutPrefix(strings.TrimSpace(line), "disk ")
-	if !ok || name == "" {
-		return fmt.Errorf("bad preamble %q, want \"disk <name>\"", strings.TrimSpace(line))
-	}
-	sh, err := srv.Shard(name)
-	if err != nil {
-		return err
-	}
-	st, err := trace.SniffStream(rd)
-	if err != nil {
-		return fmt.Errorf("disk %s: %w", name, err)
-	}
-	return streamShard(srv, sh, st, tick)
-}
+// The stream pumps — preamble handling, ring-buffered ingest, idle
+// ticks, replay skipping — live in the serve package (ServeStream,
+// ServeListener); this binary only owns flag parsing, the listener
+// socket, and process lifecycle.

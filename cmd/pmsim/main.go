@@ -50,6 +50,7 @@ func run() (retErr error) {
 		metricsLinger = flag.Duration("metrics-linger", 0, "keep serving metrics this long after the run finishes")
 		decTrace      = flag.String("decision-trace", "", "append one JSON line per joint decision to this file")
 		decideMode    = flag.String("decide", "incremental", "joint observation path: batch or incremental (bit-identical decisions)")
+		refitDrift    = flag.Float64("refit-drift", 0, "steady-state refit drift-hold fraction (0: full slate search every period; 0.05 recommended)")
 		faultsPath    = flag.String("faults", "", "JSON fault plan: run under injected faults and check invariants")
 		faultSeed     = flag.Uint64("fault-seed", 1, "seed for the -faults injector")
 		cpuprofile    = flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -143,16 +144,17 @@ func run() (retErr error) {
 		return err
 	}
 	cfg := sim.Config{
-		Trace:         tr,
-		Method:        m,
-		Decide:        mode,
-		InstalledMem:  installed,
-		BankSize:      bankSize,
-		Period:        simtime.Seconds(*period),
-		Warmup:        simtime.Seconds(*warmup),
-		Joint:         &core.Params{DelayCap: *delayCap},
-		Metrics:       reg,
-		DecisionTrace: sink,
+		Trace:          tr,
+		Method:         m,
+		Decide:         mode,
+		RefitDriftFrac: *refitDrift,
+		InstalledMem:   installed,
+		BankSize:       bankSize,
+		Period:         simtime.Seconds(*period),
+		Warmup:         simtime.Seconds(*warmup),
+		Joint:          &core.Params{DelayCap: *delayCap},
+		Metrics:        reg,
+		DecisionTrace:  sink,
 	}
 	var (
 		res *sim.Result

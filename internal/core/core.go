@@ -62,7 +62,9 @@ type Params struct {
 	// less than this fraction since the last full search, keeps that size
 	// (with the fresh period's re-fitted timeout) without re-running the
 	// slate search. Zero (the default) disables the shortcut, keeping
-	// DecideIncremental bit-identical to batch Decide.
+	// DecideIncremental bit-identical to batch Decide;
+	// DefaultRefitDriftFrac is the recommended value for hosts that opt
+	// in (the CLIs' -refit-drift flag).
 	RefitDriftFrac float64
 
 	// SequentialReplay restores the pre-sweep evaluation path — one full
@@ -278,6 +280,24 @@ func NewManager(p Params) (*Manager, error) {
 
 // Params returns the manager's configuration.
 func (m *Manager) Params() Params { return m.p }
+
+// DefaultRefitDriftFrac is the recommended drift-hold fraction for hosts
+// that enable the steady-state refit shortcut: a held decision's
+// re-priced power may drift up to 5% from the last full search before a
+// full slate search is forced — tight enough that the energy left on the
+// table is bounded by the same margin the sizing hysteresis already
+// tolerates.
+const DefaultRefitDriftFrac = 0.05
+
+// SetRefitDriftFrac adjusts the drift-hold fraction of a live manager
+// (negative is clamped to 0 = disabled). The daemon uses it on restore
+// so a warm restart keeps the snapshot's decide mode.
+func (m *Manager) SetRefitDriftFrac(f float64) {
+	if f < 0 || math.IsNaN(f) {
+		f = 0
+	}
+	m.p.RefitDriftFrac = f
+}
 
 // Last returns the most recent decision.
 func (m *Manager) Last() Decision { return m.last }

@@ -82,6 +82,30 @@ func BenchmarkIngest(b *testing.B) {
 	}
 }
 
+// BenchmarkIngestBatch is BenchmarkIngest through the block entry point:
+// the same 256k-reference period streamed in 4096-record blocks, the
+// shape the daemon's ring drain feeds. The delta against BenchmarkIngest
+// is what Fenwick-walk amortisation and hoisted per-call checks buy per
+// reference; ci/check_ingest_speed.sh gates on batch strictly winning.
+func BenchmarkIngestBatch(b *testing.B) {
+	m, obs := benchDecideSetup(b, false)
+	const block = 4096
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		log := obs.Log
+		for len(log) > 0 {
+			n := block
+			if n > len(log) {
+				n = len(log)
+			}
+			m.IngestBatch(log[:n])
+			log = log[n:]
+		}
+		m.DiscardPeriod()
+	}
+}
+
 // BenchmarkDecideReplayReference is the retained pre-sweep reference: the
 // same decision computed by replaying the log once per candidate size,
 // serially. Compare ns/op and allocs/op against BenchmarkDecide.

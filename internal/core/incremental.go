@@ -123,6 +123,27 @@ func (m *Manager) Ingest(rec lrusim.DepthRecord) {
 	m.ingestNs += time.Since(start).Nanoseconds()
 }
 
+// IngestBatch streams a time-ordered block of depth-annotated references
+// into the incremental observation state: Ingest with the per-call nil
+// check, hook check, and Fenwick node walks hoisted out of the loop (see
+// lrusim.DepthHist.ObserveBatch). The resulting state is bit-identical
+// to ingesting the records one at a time.
+func (m *Manager) IngestBatch(recs []lrusim.DepthRecord) {
+	if len(recs) == 0 {
+		return
+	}
+	if m.hist == nil {
+		m.hist = lrusim.NewDepthHist(m.p.bankPages(), m.p.TotalBanks, m.p.MinBanks, m.p.Window)
+	}
+	if m.p.SpanHook == nil {
+		m.hist.ObserveBatch(recs)
+		return
+	}
+	start := time.Now()
+	m.hist.ObserveBatch(recs)
+	m.ingestNs += time.Since(start).Nanoseconds()
+}
+
 // flushIngestSpan delivers the accumulated ingest span for the period
 // being consumed and resets the accumulator.
 func (m *Manager) flushIngestSpan() {

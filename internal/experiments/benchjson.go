@@ -35,8 +35,17 @@ type BenchSummary struct {
 	Speedup           float64 `json:"speedup,omitempty"`
 	Iterations        int     `json:"iterations"`
 
-	AllocsPerOp  uint64  `json:"allocs_per_op,omitempty"`  // heap allocations per sweep
+	AllocsPerOp  uint64  `json:"allocs_per_op,omitempty"`   // heap allocations per sweep
 	AllocMBPerOp float64 `json:"alloc_mb_per_op,omitempty"` // bytes allocated per sweep, in MB
+
+	// Fleet-bench fields (cmd/fleetbench): concurrent socket streams
+	// driven into one daemon, the aggregate ingest rate they sustained,
+	// and the pooled Decide latency quantiles across every shard's
+	// flight recorder (warmup periods excluded).
+	Streams       int     `json:"streams,omitempty"`
+	RefsPerSecond float64 `json:"refs_per_s,omitempty"`
+	DecideP50Ms   float64 `json:"decide_p50_ms,omitempty"`
+	DecideP99Ms   float64 `json:"decide_p99_ms,omitempty"`
 }
 
 // WriteBenchSummary writes s to dir/BENCH_<experiment>.json and returns

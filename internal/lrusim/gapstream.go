@@ -78,34 +78,51 @@ func (g *GapStream) Reset(window simtime.Seconds, maxBanks int) {
 // mirror the event stream the batch path builds, so the logs agree
 // structurally, not just per candidate.
 func (g *GapStream) Feed(e SweepEvent) {
-	// The event's miss bound on the full threshold axis: a reference at
-	// bank depth b is a disk access for every threshold below b, and the
-	// thresholds are 0..maxBanks, so the bound is b itself.
-	bound := e.Bank
-	t := e.T
-	low := int32(0)
-	n := len(g.segHi)
-	for g.segHi[n-1] <= bound {
-		hi := g.segHi[n-1]
-		if gap := t - g.segT[n-1]; gap >= g.window {
-			g.emits = append(g.emits, Emission{Gap: float64(gap), Lo: low, Hi: hi})
+	one := [1]SweepEvent{e}
+	g.FeedBatch(one[:]) // FeedBatch only reads evs, so the array stays on the stack
+}
+
+// FeedBatch folds a time-ordered block of finalized events, hoisting the
+// stream's field loads out of the per-event loop: the segment stack,
+// emission log, and window bound live in registers/locals for the whole
+// block. The per-event algorithm is identical to feeding the events one
+// at a time, so the resulting state is too.
+func (g *GapStream) FeedBatch(evs []SweepEvent) {
+	segT, segHi := g.segT, g.segHi
+	emits, seeds := g.emits, g.seeds
+	window := g.window
+	for i := range evs {
+		// The event's miss bound on the full threshold axis: a reference
+		// at bank depth b is a disk access for every threshold below b,
+		// and the thresholds are 0..maxBanks, so the bound is b itself.
+		bound := evs[i].Bank
+		t := evs[i].T
+		low := int32(0)
+		n := len(segHi)
+		for segHi[n-1] <= bound {
+			hi := segHi[n-1]
+			if gap := t - segT[n-1]; gap >= window {
+				emits = append(emits, Emission{Gap: float64(gap), Lo: low, Hi: hi})
+			}
+			low = hi
+			n--
 		}
-		low = hi
-		n--
-	}
-	if low < bound {
-		if g.segHi[n-1] == gapSentinel {
-			// The covered prefix [low, bound) has seen no event yet this
-			// period: its gap starts at the period start. Log a
-			// placeholder now to keep the position, resolve in Finish.
-			g.emits = append(g.emits, Emission{})
-			g.seeds = append(g.seeds, seedFix{idx: int32(len(g.emits) - 1), lo: low, hi: bound, t: t})
-		} else if gap := t - g.segT[n-1]; gap >= g.window {
-			g.emits = append(g.emits, Emission{Gap: float64(gap), Lo: low, Hi: bound})
+		if low < bound {
+			if segHi[n-1] == gapSentinel {
+				// The covered prefix [low, bound) has seen no event yet
+				// this period: its gap starts at the period start. Log a
+				// placeholder now to keep the position, resolve in Finish.
+				emits = append(emits, Emission{})
+				seeds = append(seeds, seedFix{idx: int32(len(emits) - 1), lo: low, hi: bound, t: t})
+			} else if gap := t - segT[n-1]; gap >= window {
+				emits = append(emits, Emission{Gap: float64(gap), Lo: low, Hi: bound})
+			}
 		}
+		segT = append(segT[:n], t)
+		segHi = append(segHi[:n], bound)
 	}
-	g.segT = append(g.segT[:n], t)
-	g.segHi = append(g.segHi[:n], bound)
+	g.segT, g.segHi = segT, segHi
+	g.emits, g.seeds = emits, seeds
 }
 
 // Len reports how many events' worth of emissions have accumulated (for

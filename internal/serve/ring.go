@@ -1,0 +1,177 @@
+package serve
+
+import (
+	"sync/atomic"
+
+	"jointpm/internal/trace"
+)
+
+// Ingestor decouples a connection's decode loop from its shard: the
+// connection goroutine decodes requests and pushes them into a
+// power-of-two SPSC ring without ever touching Shard.mu; a drain
+// goroutine pops whole blocks and lands each through one
+// Shard.IngestBatch call (one lock acquisition per block). Period
+// placement is untouched — IngestBatch closes boundaries exactly where
+// the timestamps cross them — so the decision stream is bit-identical
+// to unbuffered ingest; the ring only changes who waits on whom.
+//
+// Backpressure rule: when the ring is full the producer blocks until
+// the drain frees space, so a slow shard throttles its connection at
+// ring-capacity requests of lag instead of buffering unboundedly. The
+// cap-1 wakeup channels make the handoff race-free: a wakeup sent
+// before the other side starts waiting is held as a token, never lost.
+type Ingestor struct {
+	sh    *Shard
+	buf   []trace.Request
+	mask  uint64
+	block int
+
+	head atomic.Uint64 // next slot the drain pops (consumer-owned)
+	tail atomic.Uint64 // next slot the producer fills (producer-owned)
+
+	notEmpty chan struct{} // producer -> drain: records available
+	notFull  chan struct{} // drain -> producer: space available
+	quit     chan struct{} // producer done; drain exits once empty
+	done     chan struct{} // drain exited; err is settled
+
+	err error // drain's sticky ingest error; read only after done
+
+	// onBlock, when set, observes each drained block (its last request
+	// and length) from the drain goroutine — the hook stream pumps use
+	// to advance idle clocks and lag gauges only past requests that have
+	// actually been ingested.
+	onBlock func(last trace.Request, n int)
+}
+
+// ringDefaultCap is the default ring capacity in requests; at 64 KB
+// pages a full ring is a few MB of decoded requests, enough to ride out
+// a checkpoint marking the shard without stalling the socket.
+const ringDefaultCap = 1 << 14
+
+// ringDefaultBlock is the default drain block: big enough to amortise
+// the lock acquisition and the manager's per-block hoists, small enough
+// to keep drain latency (and the producer's full-ring waits) short.
+const ringDefaultBlock = 4096
+
+// newIngestor starts the drain goroutine for sh. capacity and block are
+// rounded/defaulted; capacity is rounded up to a power of two.
+func newIngestor(sh *Shard, capacity, block int, onBlock func(trace.Request, int)) *Ingestor {
+	if capacity <= 0 {
+		capacity = ringDefaultCap
+	}
+	cp := 1
+	for cp < capacity {
+		cp <<= 1
+	}
+	if block <= 0 {
+		block = ringDefaultBlock
+	}
+	if block > cp {
+		block = cp
+	}
+	in := &Ingestor{
+		sh:       sh,
+		buf:      make([]trace.Request, cp),
+		mask:     uint64(cp - 1),
+		block:    block,
+		notEmpty: make(chan struct{}, 1),
+		notFull:  make(chan struct{}, 1),
+		quit:     make(chan struct{}),
+		done:     make(chan struct{}),
+		onBlock:  onBlock,
+	}
+	go in.drain()
+	return in
+}
+
+// Push enqueues one request. Single producer only. Blocks while the
+// ring is full; returns the drain's ingest error once the drain has
+// died (requests pushed after that are dropped).
+func (in *Ingestor) Push(req trace.Request) error {
+	for {
+		select {
+		case <-in.done:
+			return in.err
+		default:
+		}
+		t := in.tail.Load()
+		if t-in.head.Load() < uint64(len(in.buf)) {
+			in.buf[t&in.mask] = req
+			in.tail.Store(t + 1)
+			select {
+			case in.notEmpty <- struct{}{}:
+			default:
+			}
+			return nil
+		}
+		select {
+		case <-in.notFull:
+		case <-in.done:
+			return in.err
+		}
+	}
+}
+
+// Close signals end of stream, waits for the drain to ingest everything
+// still buffered, and returns the drain's sticky error. Must be called
+// exactly once, by the producer.
+func (in *Ingestor) Close() error {
+	close(in.quit)
+	select {
+	case in.notEmpty <- struct{}{}:
+	default:
+	}
+	<-in.done
+	return in.err
+}
+
+// Occupancy reports how many requests are buffered and the ring's
+// capacity, for status gauges. Safe from any goroutine.
+func (in *Ingestor) Occupancy() (n, capacity int) {
+	return int(in.tail.Load() - in.head.Load()), len(in.buf)
+}
+
+// drain pops blocks and lands them in the shard until the producer
+// closes and the ring is empty, or an ingest error turns it sticky.
+func (in *Ingestor) drain() {
+	defer close(in.done)
+	scratch := make([]trace.Request, in.block)
+	for {
+		h := in.head.Load()
+		t := in.tail.Load()
+		if h == t {
+			select {
+			case <-in.notEmpty:
+				continue
+			case <-in.quit:
+				// The producer is done — but a push may have landed
+				// between the tail load and now. Drain it before exiting.
+				if in.tail.Load() != h {
+					continue
+				}
+				return
+			}
+		}
+		n := int(t - h)
+		if n > in.block {
+			n = in.block
+		}
+		// Copy out (at most two spans when the block wraps): the buffer
+		// slots must be free for the producer the moment head advances.
+		lo := h & in.mask
+		first := copy(scratch[:n], in.buf[lo:])
+		copy(scratch[first:n], in.buf[:n-first])
+		if err := in.sh.IngestBatch(scratch[:n]); err != nil {
+			in.err = err
+			return
+		}
+		in.head.Store(h + uint64(n))
+		select {
+		case in.notFull <- struct{}{}:
+		default:
+		}
+		if in.onBlock != nil {
+			in.onBlock(scratch[n-1], n)
+		}
+	}
+}

@@ -53,6 +53,15 @@ type Config struct {
 	// replays through Ingest to rebuild the incremental state.
 	Decide core.DecideMode
 
+	// RefitDriftFrac, when positive, activates the steady-state refit
+	// shortcut: a period whose re-priced previous decision drifts no more
+	// than this fraction in total power is held without a full slate
+	// search (core.DefaultRefitDriftFrac is the recommended value). Zero
+	// — the default — re-evaluates the full slate every period. The
+	// running value is checkpointed, so a warm restart keeps the mode the
+	// snapshot was cut with.
+	RefitDriftFrac float64
+
 	// SnapshotPath enables checkpointing; empty disables it.
 	SnapshotPath string
 	// SnapshotEvery writes a checkpoint whenever any shard has closed a
@@ -157,6 +166,9 @@ func New(cfg Config) (*Server, error) {
 	p.Period = cfg.Period
 	if cfg.Joint != nil {
 		p = core.MergeParams(p, *cfg.Joint)
+	}
+	if cfg.RefitDriftFrac > 0 {
+		p.RefitDriftFrac = cfg.RefitDriftFrac
 	}
 	if cfg.Metrics != nil {
 		p.Metrics = cfg.Metrics
@@ -313,8 +325,10 @@ func (s *Server) snapshotState() []shardState {
 	out := make([]shardState, 0, len(shards))
 	for _, sh := range shards {
 		sh.mu.Lock()
-		out = append(out, sh.state())
+		st, log := sh.state()
 		sh.mu.Unlock()
+		st.Log = convertLog(log)
+		out = append(out, st)
 	}
 	return out
 }

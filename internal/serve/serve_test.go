@@ -242,6 +242,7 @@ func TestSnapshotRoundTrip(t *testing.T) {
 			{Time: 841.0000000000001, Page: 42, Depth: -1, Bytes: 65536},
 			{Time: 842.5, Page: 43, Depth: 17, Bytes: 65536},
 		},
+		RefitDrift: 0.0625,
 	}, {
 		Name: "sdb",
 	}}

@@ -3,6 +3,7 @@ package serve
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"jointpm/internal/core"
@@ -47,9 +48,11 @@ type Shard struct {
 	consumed     int64 // requests ingested since stream start
 	nextBoundary simtime.Seconds
 	periodLog    []lrusim.DepthRecord
+	flushed      int   // periodLog prefix already fed to mgr (incremental mode)
 	cacheAcc     int64 // page references this period
 	misses       int64 // predicted misses this period
 	reqRuns      int64 // coalesced disk requests this period
+	refsTotal    int64 // lifetime page references served (not snapshotted)
 
 	curBanks int
 	curPages int64
@@ -71,6 +74,11 @@ type Shard struct {
 	timed     bool
 	ingestNs  int64 // wall time spent serving this period's requests
 	fallbacks int64 // lifetime count of fallback decisions
+
+	// ring is the shard's active stream Ingestor (nil between streams),
+	// published by ServeStream so Status can report ring occupancy
+	// without touching sh.mu.
+	ring atomic.Pointer[Ingestor]
 }
 
 func newShard(name string, srv *Server) (*Shard, error) {
@@ -131,9 +139,11 @@ func (sh *Shard) Ingest(req trace.Request) error {
 		if sh.timed {
 			start := time.Now()
 			sh.serve(req)
+			sh.flushIngest()
 			sh.ingestNs += time.Since(start).Nanoseconds()
 		} else {
 			sh.serve(req)
+			sh.flushIngest()
 		}
 		return nil
 	}()
@@ -144,6 +154,73 @@ func (sh *Shard) Ingest(req trace.Request) error {
 		sh.dueCheckpoint(duePeriod)
 	}
 	return err
+}
+
+// IngestBatch feeds a time-ordered block of requests under ONE lock
+// acquisition: the ring drain's entry point. Period boundaries are
+// closed exactly where the request timestamps cross them — each request
+// lands in the same period, and each period sees the same log, as
+// one-at-a-time Ingest would produce, so the decision stream is
+// bit-identical (see TestServeBatchedIngestMatches). Between boundaries
+// the served records accumulate in the period log and reach the
+// incremental manager through one IngestBatch per run instead of one
+// Ingest per reference.
+func (sh *Shard) IngestBatch(reqs []trace.Request) error {
+	if len(reqs) == 0 {
+		return nil
+	}
+	sh.mu.Lock()
+	err := func() error {
+		for i := 0; i < len(reqs); {
+			for reqs[i].Time >= sh.nextBoundary {
+				if err := sh.closePeriod(); err != nil {
+					return err
+				}
+			}
+			// The run of requests strictly before the next boundary.
+			j := i + 1
+			for j < len(reqs) && reqs[j].Time < sh.nextBoundary {
+				j++
+			}
+			if sh.timed {
+				start := time.Now()
+				for k := i; k < j; k++ {
+					sh.serve(reqs[k])
+				}
+				sh.flushIngest()
+				sh.ingestNs += time.Since(start).Nanoseconds()
+			} else {
+				for k := i; k < j; k++ {
+					sh.serve(reqs[k])
+				}
+				sh.flushIngest()
+			}
+			i = j
+		}
+		return nil
+	}()
+	due, duePeriod := sh.ckptDue, sh.ckptPeriod
+	sh.ckptDue = false
+	sh.mu.Unlock()
+	if due && err == nil {
+		sh.dueCheckpoint(duePeriod)
+	}
+	return err
+}
+
+// flushIngest hands the period log's unflushed suffix to the incremental
+// manager in one block. Called with sh.mu held, before any boundary
+// close consumes the histogram and after every served run, so the
+// manager always sees exactly the period's log — just in blocks instead
+// of single records. No-op in batch mode.
+func (sh *Shard) flushIngest() {
+	if sh.srv.cfg.Decide != core.ModeIncremental {
+		return
+	}
+	if pend := sh.periodLog[sh.flushed:]; len(pend) > 0 {
+		sh.mgr.IngestBatch(pend)
+		sh.flushed = len(sh.periodLog)
+	}
 }
 
 // FinishTo closes every period boundary at or before t. The daemon
@@ -204,11 +281,10 @@ func (sh *Shard) serve(req trace.Request) {
 		depth := sh.stack.Reference(page)
 		rec := lrusim.DepthRecord{Time: req.Time, Page: page, Depth: depth, Bytes: sh.pageSize}
 		// The log is kept even in incremental mode: it is the snapshot's
-		// replayable form of the partial period (see restore).
+		// replayable form of the partial period (see restore). In
+		// incremental mode the manager sees it in blocks — the caller
+		// flushes the unfed suffix through flushIngest after each run.
 		sh.periodLog = append(sh.periodLog, rec)
-		if sh.srv.cfg.Decide == core.ModeIncremental {
-			sh.mgr.Ingest(rec)
-		}
 		hit := depth != lrusim.Cold && int64(depth) <= sh.curPages
 		if hit {
 			flush()
@@ -224,6 +300,7 @@ func (sh *Shard) serve(req trace.Request) {
 	}
 	flush()
 	sh.consumed++
+	sh.refsTotal += int64(req.Pages)
 }
 
 // closePeriod ends the current period: during warmup the manager's held
@@ -239,6 +316,10 @@ func (sh *Shard) closePeriod() error {
 	if sh.srv.cfg.Injector.CrashAtPeriodBoundary(idx) {
 		return ErrCrashInjected
 	}
+	// Every served record must reach the manager before the histogram is
+	// consumed. The ingest paths flush after each run, so this is a
+	// no-op unless a caller served without flushing.
+	sh.flushIngest()
 	var boundaryStart time.Time
 	if sh.timed {
 		boundaryStart = time.Now()
@@ -290,6 +371,7 @@ func (sh *Shard) closePeriod() error {
 	ingestNs := sh.ingestNs
 	sh.ingestNs = 0
 	sh.periodLog = sh.periodLog[:0]
+	sh.flushed = 0
 	sh.cacheAcc = 0
 	sh.misses = 0
 	sh.reqRuns = 0
@@ -344,7 +426,11 @@ func (sh *Shard) closePeriod() error {
 }
 
 // state captures the shard's snapshot payload. Called with sh.mu held.
-func (sh *Shard) state() shardState {
+// The period log leaves the critical section as one raw copy; the
+// caller converts it to the snapshot's record form outside the lock
+// (convertLog), so an ingesting connection is stalled for a memcpy, not
+// an element-wise conversion, while a checkpoint marks the shard.
+func (sh *Shard) state() (shardState, []lrusim.DepthRecord) {
 	refs, colds := sh.stack.Counters()
 	st := shardState{
 		Name:         sh.name,
@@ -360,6 +446,7 @@ func (sh *Shard) state() shardState {
 		CacheAcc:     sh.cacheAcc,
 		Misses:       sh.misses,
 		ReqRuns:      sh.reqRuns,
+		RefitDrift:   sh.mgr.Params().RefitDriftFrac,
 	}
 	if sh.srv.cfg.Decide == core.ModeIncremental {
 		st.Mode = int64(core.ModeIncremental)
@@ -367,16 +454,22 @@ func (sh *Shard) state() shardState {
 			st.IngestedRefs = h.Refs()
 		}
 	}
-	st.Log = make([]logRecord, len(sh.periodLog))
-	for i, r := range sh.periodLog {
-		st.Log[i] = logRecord{
+	return st, append([]lrusim.DepthRecord(nil), sh.periodLog...)
+}
+
+// convertLog is the outside-the-lock half of state: the element-wise
+// conversion of the copied period log into the snapshot's record form.
+func convertLog(log []lrusim.DepthRecord) []logRecord {
+	out := make([]logRecord, len(log))
+	for i, r := range log {
+		out[i] = logRecord{
 			Time:  float64(r.Time),
 			Page:  r.Page,
 			Depth: int64(r.Depth),
 			Bytes: int64(r.Bytes),
 		}
 	}
-	return st
+	return out
 }
 
 // restore rehydrates the shard from a snapshot payload. Called before
@@ -392,6 +485,13 @@ func (sh *Shard) restore(st shardState) error {
 	}
 	if err := sh.mgr.Restore(st.Core); err != nil {
 		return fmt.Errorf("serve: shard %s: %w", st.Name, err)
+	}
+	if st.RefitDrift >= 0 {
+		// The snapshot records the drift-hold fraction the checkpointed
+		// daemon ran with; adopt it so a warm restart keeps the mode even
+		// when the new process's flags differ. Pre-v3 snapshots carry -1
+		// and leave the configured value alone.
+		sh.mgr.SetRefitDriftFrac(st.RefitDrift)
 	}
 	sh.stack = lrusim.RestoreStackSim(int(sh.srv.installedPages), st.StackPages, st.StackRefs, st.StackColds)
 	sh.periodIdx = st.PeriodIdx
@@ -413,13 +513,13 @@ func (sh *Shard) restore(st shardState) error {
 	}
 	if sh.srv.cfg.Decide == core.ModeIncremental {
 		// Rebuild the streaming observation state by replaying the
-		// partial period — Ingest is deterministic, so the histogram and
-		// gap log land exactly where the checkpointed run had them. When
-		// the snapshot itself was cut in incremental mode, its recorded
-		// reference count must agree with the replay.
-		for _, r := range sh.periodLog {
-			sh.mgr.Ingest(r)
-		}
+		// partial period — ingest is deterministic (and the block entry
+		// point is bit-identical to record-at-a-time), so the histogram
+		// and gap log land exactly where the checkpointed run had them.
+		// When the snapshot itself was cut in incremental mode, its
+		// recorded reference count must agree with the replay.
+		sh.mgr.IngestBatch(sh.periodLog)
+		sh.flushed = len(sh.periodLog)
 		if st.Mode == int64(core.ModeIncremental) {
 			var got int64
 			if h := sh.mgr.Hist(); h != nil {

@@ -44,7 +44,11 @@ const (
 	// still readable — they simply predate incremental mode, so the
 	// section decodes to its zero values and restore rebuilds any needed
 	// incremental state by replaying the stored partial-period log.
-	snapshotVersion    = 2
+	// Version 3 appends the shard's refit drift-hold fraction, so a warm
+	// restart keeps the mode the checkpointed daemon was running even if
+	// the new process's flags differ; older files decode it as -1 ("keep
+	// the configured value").
+	snapshotVersion    = 3
 	snapshotVersionMin = 1
 
 	// maxSnapshotShards bounds the shard count a reader will believe, so
@@ -88,6 +92,14 @@ type shardState struct {
 	// restore's replay reconstructed exactly the state the snapshot saw.
 	Mode         int64
 	IngestedRefs int64
+
+	// RefitDrift (snapshot v3) is the steady-state drift-hold fraction
+	// the shard's manager was running when the checkpoint was cut, so a
+	// warm restart resumes the same refit mode even if the restarted
+	// process was launched with different flags. Files older than v3
+	// decode it as -1, meaning "keep the restored process's configured
+	// value".
+	RefitDrift float64
 }
 
 type payloadWriter struct {
@@ -163,6 +175,7 @@ func encodePayload(states []shardState) []byte {
 		}
 		w.uv(uint64(st.Mode))
 		w.uv(uint64(st.IngestedRefs))
+		w.f64(st.RefitDrift)
 	}
 	return w.buf.Bytes()
 }
@@ -355,6 +368,13 @@ func decodeShard(r *payloadReader, version byte) (shardState, error) {
 			return st, err
 		}
 		st.IngestedRefs = int64(v)
+	}
+	if version >= 3 {
+		if st.RefitDrift, err = r.f64(); err != nil {
+			return st, err
+		}
+	} else {
+		st.RefitDrift = -1 // pre-v3: keep the configured value
 	}
 	return st, nil
 }

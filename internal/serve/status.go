@@ -29,6 +29,15 @@ type ShardStatus struct {
 	TimeoutS obs.Float `json:"timeout_s"` // null: spin-down disabled
 	// Fallbacks counts degraded decisions over the shard's lifetime.
 	Fallbacks int64 `json:"fallbacks"`
+	// RefsIngested counts page references served over the shard's
+	// lifetime (Consumed counts coalesced requests; this counts pages).
+	RefsIngested int64 `json:"refs_ingested"`
+	// RingLen/RingCap gauge the shard's stream ring: how many decoded
+	// requests sit between the connection's decoder and the drain. Both
+	// zero when no stream is attached; a RingLen pinned near RingCap
+	// means the shard (not the socket) is the pipeline bottleneck.
+	RingLen int `json:"ring_len"`
+	RingCap int `json:"ring_cap"`
 	// Decide latency quantiles over the flight recorder's retained
 	// window; zero when no recorder is attached.
 	DecideP50Ms float64 `json:"decide_p50_ms"`
@@ -42,13 +51,18 @@ type ShardStatus struct {
 // Status is the daemon-wide summary served on /debug/status and
 // rendered by jointpmctl.
 type Status struct {
-	UptimeS     float64        `json:"uptime_s"`
-	StreamLagS  float64        `json:"stream_lag_s"`
-	DecideMode  string         `json:"decide_mode"`
-	PeriodS     float64        `json:"period_s"`
-	FlightDepth int            `json:"flight_depth"` // 0: recorders disabled
-	Shards      []ShardStatus  `json:"shards"`
-	Counters    []obs.NamedInt `json:"counters,omitempty"`
+	UptimeS    float64 `json:"uptime_s"`
+	StreamLagS float64 `json:"stream_lag_s"`
+	// RefsIngested and RefsPerSec aggregate the ingest pipeline across
+	// every shard: lifetime page references and their average rate over
+	// the daemon's uptime — the fleet-level throughput gauge.
+	RefsIngested int64          `json:"refs_ingested"`
+	RefsPerSec   float64        `json:"refs_per_sec"`
+	DecideMode   string         `json:"decide_mode"`
+	PeriodS      float64        `json:"period_s"`
+	FlightDepth  int            `json:"flight_depth"` // 0: recorders disabled
+	Shards       []ShardStatus  `json:"shards"`
+	Counters     []obs.NamedInt `json:"counters,omitempty"`
 }
 
 // status snapshots one shard's summary.
@@ -56,14 +70,18 @@ func (sh *Shard) status() ShardStatus {
 	sh.mu.Lock()
 	last := sh.mgr.Last()
 	st := ShardStatus{
-		Disk:      sh.name,
-		Periods:   sh.periodIdx,
-		Consumed:  sh.consumed,
-		Banks:     last.Banks,
-		TimeoutS:  obs.Float(last.Timeout),
-		Fallbacks: sh.fallbacks,
+		Disk:         sh.name,
+		Periods:      sh.periodIdx,
+		Consumed:     sh.consumed,
+		Banks:        last.Banks,
+		TimeoutS:     obs.Float(last.Timeout),
+		Fallbacks:    sh.fallbacks,
+		RefsIngested: sh.refsTotal,
 	}
 	sh.mu.Unlock()
+	if ring := sh.ring.Load(); ring != nil {
+		st.RingLen, st.RingCap = ring.Occupancy()
+	}
 	if sh.rec != nil {
 		st.DecideP50Ms = float64(sh.rec.DecideNsQuantile(0.50)) / 1e6
 		st.DecideP99Ms = float64(sh.rec.DecideNsQuantile(0.99)) / 1e6
@@ -102,6 +120,12 @@ func (s *Server) Status() Status {
 		st.Shards = append(st.Shards, sh.status())
 	}
 	sort.Slice(st.Shards, func(i, j int) bool { return st.Shards[i].Disk < st.Shards[j].Disk })
+	for _, sh := range st.Shards {
+		st.RefsIngested += sh.RefsIngested
+	}
+	if st.UptimeS > 0 {
+		st.RefsPerSec = float64(st.RefsIngested) / st.UptimeS
+	}
 	if s.cfg.Metrics != nil {
 		st.Counters = s.cfg.Metrics.Snapshot().Counters
 	}

@@ -57,6 +57,13 @@ type Config struct {
 	// bit-identical Results); see TestIncrementalModeMatchesBatch.
 	Decide core.DecideMode
 
+	// RefitDriftFrac, when positive, activates the joint manager's
+	// steady-state refit shortcut: a period whose re-priced previous
+	// decision drifts no more than this fraction in total power is held
+	// without a full slate search (core.DefaultRefitDriftFrac is the
+	// recommended value). Zero re-evaluates the full slate every period.
+	RefitDriftFrac float64
+
 	// Zoned, when set, replaces the flat service model with the zoned
 	// disk: media rate varies by platter zone and seek time by head
 	// travel. The data set is laid out spread uniformly across the
@@ -337,6 +344,9 @@ func newEngine(cfg Config) (*engine, error) {
 		p.LongLatency = cfg.LongLatency
 		if cfg.Joint != nil {
 			p = mergeJointParams(p, *cfg.Joint)
+		}
+		if cfg.RefitDriftFrac > 0 {
+			p.RefitDriftFrac = cfg.RefitDriftFrac
 		}
 		if cfg.Metrics != nil {
 			p.Metrics = cfg.Metrics

@@ -1,0 +1,379 @@
+package trace
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"jointpm/internal/simtime"
+)
+
+// collectSlow decodes record-at-a-time through a minimum-size bufio
+// window, so the block fast path (which needs recordMaxLen buffered
+// bytes) never engages and every record goes through readOne.
+func collectSlow(data []byte) ([]Request, error) {
+	sr, err := NewStreamReader(bufio.NewReaderSize(bytes.NewReader(data), 16))
+	if err != nil {
+		return nil, err
+	}
+	var out []Request
+	for {
+		req, err := sr.Next()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, req)
+	}
+}
+
+// collectBatch decodes through ReadBatch with a fixed batch size.
+func collectBatch(data []byte, batch int) ([]Request, error) {
+	sr, err := NewStreamReader(bytes.NewReader(data))
+	if err != nil {
+		return nil, err
+	}
+	dst := make([]Request, batch)
+	var out []Request
+	for {
+		n, err := sr.ReadBatch(dst)
+		out = append(out, dst[:n]...)
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+	}
+}
+
+// TestReadBatchMatchesNext: over the binary fuzz corpus plus a spray of
+// mutated variants, the block decoder must yield the same records and
+// the same final error as a record-at-a-time decode forced through the
+// slow path, for every batch size.
+func TestReadBatchMatchesNext(t *testing.T) {
+	inputs := binaryCorpus(t)
+	rng := rand.New(rand.NewSource(7))
+	for _, base := range inputs {
+		for k := 0; k < 32; k++ {
+			m := append([]byte(nil), base...)
+			if len(m) > 0 {
+				switch k % 3 {
+				case 0:
+					m[rng.Intn(len(m))] ^= byte(1 << uint(rng.Intn(8)))
+				case 1:
+					m = m[:rng.Intn(len(m))]
+				case 2:
+					m = append(m, byte(rng.Intn(256)))
+				}
+			}
+			inputs = append(inputs, m)
+		}
+	}
+	// A long trace so batches actually span multiple fast-path blocks.
+	long := randomTrace(rand.New(rand.NewSource(99)))
+	var lbuf bytes.Buffer
+	if err := WriteBinary(&lbuf, long); err != nil {
+		t.Fatal(err)
+	}
+	inputs = append(inputs, lbuf.Bytes())
+
+	for i, data := range inputs {
+		want, wantErr := collectSlow(data)
+		for _, batch := range []int{1, 2, 3, 7, 64, 4096} {
+			got, gotErr := collectBatch(data, batch)
+			assertSameRecords(t, i, batch, data, want, wantErr, got, gotErr)
+		}
+	}
+}
+
+func assertSameRecords(t *testing.T, i, batch int, data []byte, want []Request, wantErr error, got []Request, gotErr error) {
+	t.Helper()
+	if (wantErr == nil) != (gotErr == nil) {
+		t.Fatalf("input %d batch %d (%q): slow err %v, batch err %v", i, batch, truncate(data), wantErr, gotErr)
+	}
+	if wantErr != nil && wantErr.Error() != gotErr.Error() {
+		t.Fatalf("input %d batch %d (%q): slow err %q, batch err %q", i, batch, truncate(data), wantErr, gotErr)
+	}
+	if len(want) != len(got) {
+		t.Fatalf("input %d batch %d: slow decoded %d records, batch %d", i, batch, len(want), len(got))
+	}
+	for k := range want {
+		if want[k] != got[k] {
+			t.Fatalf("input %d batch %d record %d: slow %+v, batch %+v", i, batch, k, want[k], got[k])
+		}
+	}
+}
+
+// encodeOffsets writes tr in the binary format and returns the byte
+// offset where each request's record starts plus the offset just after
+// each request's time field — the cut points that must surface as a
+// wrapped EOF and as io.ErrUnexpectedEOF respectively.
+func encodeOffsets(t *testing.T, tr *Trace) (data []byte, recStart, afterTime []int) {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	data = buf.Bytes()
+	var tmp [binary.MaxVarintLen64]byte
+	// Walk the header: magic+version, then 6 varints.
+	off := len(binaryMagic) + 1
+	for i := 0; i < 6; i++ {
+		_, k := binary.Uvarint(data[off:])
+		off += k
+	}
+	prev := uint64(0)
+	for i := range tr.Requests {
+		recStart = append(recStart, off)
+		ts := usec(tr.Requests[i].Time)
+		off += binary.PutUvarint(tmp[:], ts-prev)
+		prev = ts
+		afterTime = append(afterTime, off)
+		off += binary.PutUvarint(tmp[:], uint64(tr.Requests[i].File))
+		off += binary.PutUvarint(tmp[:], uint64(tr.Requests[i].FirstPage))
+		off += binary.PutUvarint(tmp[:], uint64(tr.Requests[i].Pages))
+		off += binary.PutUvarint(tmp[:], uint64(tr.Requests[i].Bytes))
+	}
+	if off != len(data) {
+		t.Fatalf("offset walk ended at %d, trace is %d bytes", off, len(data))
+	}
+	return data, recStart, afterTime
+}
+
+// TestReadBatchTruncation cuts a valid trace at every byte position and
+// checks the block decoder agrees with the slow path everywhere; cuts
+// just after a record's time field must surface as io.ErrUnexpectedEOF
+// (a truncated record, not a clean end of stream) on both paths.
+func TestReadBatchTruncation(t *testing.T) {
+	tr := randomTrace(rand.New(rand.NewSource(3)))
+	for len(tr.Requests) == 0 {
+		tr = randomTrace(rand.New(rand.NewSource(4)))
+	}
+	data, recStart, afterTime := encodeOffsets(t, tr)
+	headerEnd := recStart[0]
+	for cut := 0; cut <= len(data); cut++ {
+		want, wantErr := collectSlow(data[:cut])
+		got, gotErr := collectBatch(data[:cut], 64)
+		assertSameRecords(t, cut, 64, data[:cut], want, wantErr, got, gotErr)
+		if cut >= headerEnd && cut < len(data) && wantErr == nil {
+			t.Fatalf("cut %d of %d: truncated body decoded without error", cut, len(data))
+		}
+	}
+	for i, cut := range afterTime {
+		if cut == len(data) {
+			continue // zero-length tail fields can make this a clean end
+		}
+		_, err := collectBatch(data[:cut], 64)
+		if !errors.Is(err, io.ErrUnexpectedEOF) {
+			t.Fatalf("cut after time field of record %d: got %v, want io.ErrUnexpectedEOF", i, err)
+		}
+	}
+	// A partial final block: enough bytes that the fast path decodes the
+	// head of the stream but the last record is cut mid-field.
+	if last := recStart[len(recStart)-1]; last+1 < len(data) {
+		cut := last + 1
+		want, wantErr := collectSlow(data[:cut])
+		got, gotErr := collectBatch(data[:cut], 4096)
+		assertSameRecords(t, cut, 4096, data[:cut], want, wantErr, got, gotErr)
+		if gotErr == nil {
+			t.Fatalf("mid-final-record cut decoded cleanly")
+		}
+	}
+}
+
+// TestReadBatchAfterError: the error is sticky — once a batch call has
+// reported it, every further call reports it again without touching the
+// reader.
+func TestReadBatchAfterError(t *testing.T) {
+	tr := sampleTrace()
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()[:buf.Len()-3]
+	sr, err := NewStreamReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]Request, 16)
+	var first error
+	for i := 0; i < 4; i++ {
+		n, err := sr.ReadBatch(dst)
+		if err == nil {
+			continue
+		}
+		if n != 0 {
+			t.Fatalf("error return carried %d records", n)
+		}
+		if first == nil {
+			first = err
+		} else if err != first {
+			t.Fatalf("sticky error changed: %v then %v", first, err)
+		}
+	}
+	if first == nil {
+		t.Fatal("truncated trace decoded cleanly")
+	}
+}
+
+// TestQuickReadBatchRoundTrip: any valid trace written by the binary
+// encoder comes back identically through the block decoder.
+func TestQuickReadBatchRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := randomTrace(rng)
+		var buf bytes.Buffer
+		if err := WriteBinary(&buf, tr); err != nil {
+			return false
+		}
+		got, err := collectBatch(buf.Bytes(), 1+rng.Intn(512))
+		if err != nil {
+			return false
+		}
+		if len(got) != len(tr.Requests) {
+			return false
+		}
+		for i := range tr.Requests {
+			w, g := tr.Requests[i], got[i]
+			dt := float64(g.Time - w.Time)
+			if dt > 2e-5 || dt < -2e-5 { // microsecond quantisation, accumulated
+				return false
+			}
+			w.Time, g.Time = 0, 0
+			if w != g {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestReadBatchFromText: the helper drives a Next loop for streams with
+// no native block decoder and still honours the batch contract.
+func TestReadBatchFromText(t *testing.T) {
+	tr := sampleTrace()
+	var buf bytes.Buffer
+	if err := WriteText(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	st, err := SniffStream(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := st.(BatchStream); ok {
+		t.Fatal("text stream unexpectedly implements BatchStream")
+	}
+	dst := make([]Request, 2)
+	var got []Request
+	for {
+		n, err := ReadBatchFrom(st, dst)
+		got = append(got, dst[:n]...)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(got) != len(tr.Requests) {
+		t.Fatalf("streamed %d of %d requests", len(got), len(tr.Requests))
+	}
+}
+
+// benchTraceBytes encodes one large trace for the decode benchmarks.
+func benchTraceBytes(b *testing.B) ([]byte, int) {
+	rng := rand.New(rand.NewSource(42))
+	tr := &Trace{
+		PageSize:     4 * simtime.KB,
+		DataSetBytes: 1 << 30,
+		DataSetPages: 1 << 18,
+		Files:        64,
+		Duration:     1e6,
+	}
+	now := 0.0
+	const n = 1 << 17
+	for i := 0; i < n; i++ {
+		now += rng.Float64() * 5
+		extent := int32(1 + rng.Intn(8))
+		tr.Requests = append(tr.Requests, Request{
+			Time:      simtime.Seconds(now),
+			File:      int32(rng.Intn(64)),
+			FirstPage: rng.Int63n(tr.DataSetPages - 8),
+			Pages:     extent,
+			Bytes:     simtime.Bytes(extent) * tr.PageSize,
+		})
+	}
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, tr); err != nil {
+		b.Fatal(err)
+	}
+	return buf.Bytes(), n
+}
+
+// BenchmarkReadRecord decodes the stream one Next call per record: the
+// per-ref baseline ci/check_ingest_speed.sh compares against.
+func BenchmarkReadRecord(b *testing.B) {
+	data, n := benchTraceBytes(b)
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sr, err := NewStreamReader(bytes.NewReader(data))
+		if err != nil {
+			b.Fatal(err)
+		}
+		got := 0
+		for {
+			if _, err := sr.Next(); err != nil {
+				if err != io.EOF {
+					b.Fatal(err)
+				}
+				break
+			}
+			got++
+		}
+		if got != n {
+			b.Fatalf("decoded %d of %d", got, n)
+		}
+	}
+}
+
+// BenchmarkReadBatch decodes the same stream through the block path.
+func BenchmarkReadBatch(b *testing.B) {
+	data, n := benchTraceBytes(b)
+	dst := make([]Request, 4096)
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sr, err := NewStreamReader(bytes.NewReader(data))
+		if err != nil {
+			b.Fatal(err)
+		}
+		got := 0
+		for {
+			m, err := sr.ReadBatch(dst)
+			got += m
+			if err != nil {
+				if err != io.EOF {
+					b.Fatal(err)
+				}
+				break
+			}
+		}
+		if got != n {
+			b.Fatalf("decoded %d of %d", got, n)
+		}
+	}
+}

@@ -48,7 +48,7 @@ type StreamReader struct {
 func NewStreamReader(r io.Reader) (*StreamReader, error) {
 	br, ok := r.(*bufio.Reader)
 	if !ok {
-		br = bufio.NewReader(r)
+		br = bufio.NewReaderSize(r, streamBufSize)
 	}
 	magic := make([]byte, 4)
 	if _, err := io.ReadFull(br, magic); err != nil {
@@ -100,15 +100,23 @@ func (s *StreamReader) Header() Trace { return s.hdr }
 func (s *StreamReader) Count() uint64 { return s.count }
 
 // Next implements Stream. It returns io.EOF after the header-declared
-// request count, without touching the underlying reader again.
+// request count, without touching the underlying reader again. It is a
+// one-record collector over ReadBatch, so the streaming and block
+// decoders accept and reject inputs identically by construction.
 func (s *StreamReader) Next() (Request, error) {
-	if s.err != nil {
-		return Request{}, s.err
+	var one [1]Request
+	if _, err := s.ReadBatch(one[:]); err != nil {
+		return Request{}, err
 	}
-	if s.read >= s.count {
-		s.err = io.EOF
-		return Request{}, s.err
-	}
+	return one[0], nil
+}
+
+// readOne decodes one record byte-by-byte through the bufio reader: the
+// slow path ReadBatch falls back to at buffer-window tails and on
+// malformed input, where it re-reads the same bytes and produces the
+// canonical per-field error. The caller has already checked s.err and
+// the header-declared count.
+func (s *StreamReader) readOne() (Request, error) {
 	var req Request
 	d, err := binary.ReadUvarint(s.br)
 	if err != nil {
@@ -246,7 +254,7 @@ func (s *TextStreamReader) Next() (Request, error) {
 func SniffStream(r io.Reader) (Stream, error) {
 	br, ok := r.(*bufio.Reader)
 	if !ok {
-		br = bufio.NewReader(r)
+		br = bufio.NewReaderSize(r, streamBufSize)
 	}
 	head, err := br.Peek(len(binaryMagic))
 	if err != nil && len(head) == 0 {
