@@ -10,9 +10,18 @@
 // format), so consecutive runs across a perf change chain their own
 // before/after wall times.
 //
+// With -power-cap-w the run also exercises the fleet coordinator: every
+// shard exists before the first byte arrives, one initial reallocation
+// budgets them all, and epochs re-solve the cap as periods close. The
+// summary then gains cap-compliance fields (peak per-period aggregate
+// power, budget-violation count, Jain fairness index) and the run fails
+// if any trusted period exceeded the budget it was decided under — the
+// CI cap-compliance smoke.
+//
 // Usage:
 //
 //	fleetbench -streams 1024 -out .
+//	fleetbench -streams 1024 -power-cap-w 7500 -out .
 package main
 
 import (
@@ -27,6 +36,7 @@ import (
 
 	"jointpm/internal/core"
 	"jointpm/internal/experiments"
+	"jointpm/internal/fleet"
 	"jointpm/internal/obs/flight"
 	"jointpm/internal/serve"
 	"jointpm/internal/simtime"
@@ -52,6 +62,8 @@ func run() error {
 		rate     = flag.Float64("rate", 0.25, "per-stream request rate in MB/s of stream time")
 		seed     = flag.Int64("seed", 42, "workload seed")
 		outDir   = flag.String("out", ".", "directory for BENCH_fleet.json")
+		powerCap = flag.Float64("power-cap-w", 0, "global power cap in watts across every stream (0: uncapped); the run fails if any trusted period exceeded its budget")
+		fleetEp  = flag.Int64("fleet-epoch", 16, "with -power-cap-w, each shard triggers a reallocation every N of its periods (1: every period — O(streams) summaries per solve, expensive at fleet scale)")
 	)
 	flag.Parse()
 
@@ -102,9 +114,22 @@ func run() error {
 		InstalledMem:   installed,
 		Period:         simtime.Seconds(*period),
 		FlightRecorder: flight.DefaultDepth,
+		PowerCapW:      *powerCap,
+		FleetEpoch:     *fleetEp,
 	})
 	if err != nil {
 		return err
+	}
+	if srv.FleetEnabled() {
+		// Create every shard up front and solve the cap once before any
+		// stream connects, so even the first period of the slowest-dialled
+		// stream decides under a budget.
+		for i := 0; i < *streams; i++ {
+			if _, err := srv.Shard(diskName(i)); err != nil {
+				return err
+			}
+		}
+		srv.FleetReallocate()
 	}
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -132,7 +157,7 @@ func run() error {
 				return
 			}
 			defer conn.Close()
-			if _, err := fmt.Fprintf(conn, "disk d%04d\n", id); err != nil {
+			if _, err := fmt.Fprintf(conn, "disk %s\n", diskName(id)); err != nil {
 				errCh <- fmt.Errorf("stream %d: %w", id, err)
 				return
 			}
@@ -175,18 +200,40 @@ func run() error {
 	// Pool Decide wall times across every shard's flight recorder;
 	// warmup periods never time a Decide, and unmeasured (zero) spans
 	// are skipped.
+	// Under a cap, also audit the flight records: every trusted period
+	// (priced, not degraded, not the over-budget fallback) must respect
+	// the budget it was decided under, the per-period aggregate traces
+	// the fleet's draw against the cap, and the Jain index over per-shard
+	// mean power measures how evenly the cap was shared.
 	var decideNs []int64
 	var periods int64
+	violations := 0
+	aggW := map[int64]float64{}
+	var shardMeans []float64
 	for i := 0; i < *streams; i++ {
-		sh, err := srv.Shard(fmt.Sprintf("d%04d", i))
+		sh, err := srv.Shard(diskName(i))
 		if err != nil {
 			return err
 		}
 		periods += sh.Periods()
+		var sumW float64
+		var nW int
 		for _, r := range sh.Flight().Last(0) {
 			if !r.Warmup && r.DecideNs > 0 {
 				decideNs = append(decideNs, r.DecideNs)
 			}
+			if r.Warmup || r.Fallback || r.OverBudget || r.PowerW <= 0 {
+				continue
+			}
+			if r.BudgetW > 0 && r.PowerW > r.BudgetW*(1+1e-9)+1e-6 {
+				violations++
+			}
+			aggW[r.Period] += r.PowerW
+			sumW += r.PowerW
+			nW++
+		}
+		if nW > 0 {
+			shardMeans = append(shardMeans, sumW/float64(nW))
 		}
 	}
 	if err := srv.Close(); err != nil {
@@ -212,6 +259,18 @@ func run() error {
 		DecideP50Ms:   quantile(0.50),
 		DecideP99Ms:   quantile(0.99),
 	}
+	if *powerCap > 0 {
+		maxAgg := 0.0
+		for _, w := range aggW {
+			if w > maxAgg {
+				maxAgg = w
+			}
+		}
+		sum.PowerCapW = *powerCap
+		sum.MaxAggregateW = maxAgg
+		sum.CapViolations = &violations
+		sum.FairnessIndex = fleet.JainIndex(shardMeans)
+	}
 	path, err := experiments.WriteBenchSummary(*outDir, sum)
 	if err != nil {
 		return err
@@ -221,6 +280,18 @@ func run() error {
 	fmt.Printf("wall           %.2fs\n", wall)
 	fmt.Printf("aggregate      %.0f refs/s\n", sum.RefsPerSecond)
 	fmt.Printf("decide p50/p99 %.3fms / %.3fms (%d samples)\n", sum.DecideP50Ms, sum.DecideP99Ms, len(decideNs))
+	if *powerCap > 0 {
+		fmt.Printf("power cap      %.2f W (peak aggregate %.2f W)\n", sum.PowerCapW, sum.MaxAggregateW)
+		fmt.Printf("cap violations %d\n", violations)
+		fmt.Printf("fairness       %.4f (Jain, %d shards with trusted periods)\n", sum.FairnessIndex, len(shardMeans))
+	}
 	fmt.Printf("summary        %s\n", path)
+	if *powerCap > 0 && violations > 0 {
+		return fmt.Errorf("%d trusted periods exceeded their budget under -power-cap-w %g", violations, *powerCap)
+	}
 	return nil
 }
+
+// diskName is the shard naming scheme shared by the pre-created shards
+// and the client preambles.
+func diskName(i int) string { return fmt.Sprintf("d%04d", i) }

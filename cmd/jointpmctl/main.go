@@ -8,10 +8,13 @@
 //	jointpmctl -addr 127.0.0.1:7071 status
 //	jointpmctl -addr 127.0.0.1:7071 periods -disk d0 -n 8
 //	jointpmctl -addr 127.0.0.1:7071 periods -json
+//	jointpmctl -addr 127.0.0.1:7071 fleet
 //
-// -addr names the daemon's -metrics-addr listener; both commands are
-// plain GETs (/debug/status, /debug/periods), so curl works too —
-// jointpmctl only adds the rendering.
+// -addr names the daemon's -metrics-addr listener; every command is a
+// plain GET (/debug/status, /debug/periods, /debug/fleet), so curl
+// works too — jointpmctl only adds the rendering. "fleet" reports the
+// power-cap coordinator's latest budget solve and fails with the
+// daemon's 404 when jointpmd runs without -power-cap-w.
 package main
 
 import (
@@ -50,6 +53,20 @@ func run(args []string, w io.Writer) error {
 			return err
 		}
 		return renderStatus(w, *addr, st)
+	case "fleet":
+		ffs := flag.NewFlagSet("jointpmctl fleet", flag.ContinueOnError)
+		raw := ffs.Bool("json", false, "emit the raw JSON response")
+		if err := ffs.Parse(rest); err != nil {
+			return err
+		}
+		if *raw {
+			return getRaw(*addr, "/debug/fleet", w)
+		}
+		var fst serve.FleetStatus
+		if err := getJSON(*addr, "/debug/fleet", &fst); err != nil {
+			return err
+		}
+		return renderFleet(w, fst)
 	case "periods":
 		pfs := flag.NewFlagSet("jointpmctl periods", flag.ContinueOnError)
 		disk := pfs.String("disk", "", "restrict to one disk")
@@ -68,7 +85,7 @@ func run(args []string, w io.Writer) error {
 		}
 		return renderPeriods(w, pr)
 	default:
-		return fmt.Errorf("unknown command %q (want status or periods)", cmd)
+		return fmt.Errorf("unknown command %q (want status, periods, or fleet)", cmd)
 	}
 }
 

@@ -3,8 +3,11 @@ package main
 import (
 	"bytes"
 	"math"
+	"net/http/httptest"
+	"strings"
 	"testing"
 
+	"jointpm/internal/fleet"
 	"jointpm/internal/obs"
 	"jointpm/internal/obs/flight"
 	"jointpm/internal/serve"
@@ -100,6 +103,94 @@ func TestRenderPeriodsGolden(t *testing.T) {
 		"sdb   1       120     0     0              -       -       -       128    inf      100.0     warmup\n"
 	if got != wantExact {
 		t.Errorf("periods table mismatch:\n--- got ---\n%s\n--- want ---\n%s", got, wantExact)
+	}
+}
+
+// TestRenderStatusFleetGolden pins the capped variant of the status
+// table: when any shard reports fleet watts, the BUDGET W / ACTUAL W
+// columns appear, with "-" for shards not yet budgeted.
+func TestRenderStatusFleetGolden(t *testing.T) {
+	st := serve.Status{
+		UptimeS:     240, // lag/rate columns zero-valued for brevity
+		DecideMode:  "incremental",
+		PeriodS:     120,
+		FlightDepth: 64,
+		Shards: []serve.ShardStatus{
+			{
+				Disk: "sda", Periods: 4, Consumed: 900, Banks: 80,
+				TimeoutS: 11.7, RefsIngested: 7200,
+				DecideP50Ms: 0.41, DecideP99Ms: 1.27,
+				Energy:  flight.Ledger{MemNapJ: 100, DiskActiveJ: 20},
+				BudgetW: 9.25, PowerW: 7.5,
+			},
+			{
+				Disk: "sdb", Periods: 0, Consumed: 0, Banks: 128,
+				TimeoutS: 11.7,
+				// Not yet budgeted: both fleet columns render "-".
+			},
+		},
+	}
+	var buf bytes.Buffer
+	if err := renderStatus(&buf, "127.0.0.1:7071", st); err != nil {
+		t.Fatal(err)
+	}
+	want := "jointpmd 127.0.0.1:7071  up 240s  lag 0.00s  ingest 0 refs/s  decide incremental  period 120s  flight 64 periods\n" +
+		"\n" +
+		"DISK  PERIODS  CONSUMED  REFS  RING  BANKS  TIMEOUT  FALLBK  DECIDE p50/p99   MEM J  DISK J  DELAY s  BUDGET W  ACTUAL W\n" +
+		"sda   4        900       7200  -     80     11.70s   0       0.41ms / 1.27ms  100.0  20.0    0.00     9.25      7.50\n" +
+		"sdb   0        0         0     -     128    11.70s   0       0.00ms / 0.00ms  0.0    0.0     0.00     -         -\n"
+	if got := buf.String(); got != want {
+		t.Errorf("capped status table mismatch:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+// TestRenderFleetGolden pins the "fleet" subcommand's table: cap
+// header, one row per budget, stale rows flagged.
+func TestRenderFleetGolden(t *testing.T) {
+	st := serve.FleetStatus{
+		PowerCapW: 18,
+		FloorW:    8.01,
+		Epoch:     12,
+		Assignments: []fleet.Assignment{
+			{Disk: "sda", BudgetW: 9.25, DemandW: 10.4, FloorW: 8.01},
+			{Disk: "sdb", BudgetW: 8.75, DemandW: 8.01, FloorW: 8.01, Stale: true},
+		},
+	}
+	var buf bytes.Buffer
+	if err := renderFleet(&buf, st); err != nil {
+		t.Fatal(err)
+	}
+	want := "power cap 18.00 W  floor 8.01 W/shard  epoch 12\n" +
+		"\n" +
+		"DISK  BUDGET W  DEMAND W  FLOOR W  STALE\n" +
+		"sda   9.25      10.40     8.01     -\n" +
+		"sdb   8.75      8.01      8.01     stale\n"
+	if got := buf.String(); got != want {
+		t.Errorf("fleet table mismatch:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+// TestFleetCommandDisabled is the negative contract end to end: the
+// "fleet" subcommand against a daemon running without -power-cap-w
+// surfaces the 404 as an error. The handler is the real nil-safe
+// serve.FleetHandler of a nil server — the same code path an uncapped
+// jointpmd mounts.
+func TestFleetCommandDisabled(t *testing.T) {
+	var disabled *serve.Server
+	ts := httptest.NewServer(disabled.FleetHandler())
+	defer ts.Close()
+	addr := strings.TrimPrefix(ts.URL, "http://")
+
+	var buf bytes.Buffer
+	err := run([]string{"-addr", addr, "fleet"}, &buf)
+	if err == nil {
+		t.Fatal("fleet command against an uncapped daemon succeeded")
+	}
+	if !strings.Contains(err.Error(), "404") || !strings.Contains(err.Error(), "fleet coordinator disabled") {
+		t.Fatalf("error %q does not surface the 404 reason", err)
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("fleet command wrote output despite the error: %q", buf.String())
 	}
 }
 

@@ -23,14 +23,32 @@ func renderStatus(w io.Writer, addr string, st serve.Status) error {
 	fmt.Fprintf(w, "jointpmd %s  up %.0fs  lag %.2fs  ingest %.0f refs/s  decide %s  period %.0fs  flight %s\n\n",
 		addr, st.UptimeS, st.StreamLagS, st.RefsPerSec, st.DecideMode, st.PeriodS, flight)
 
-	tw := tabwriter.NewWriter(w, 2, 8, 2, ' ', 0)
-	fmt.Fprintln(tw, "DISK\tPERIODS\tCONSUMED\tREFS\tRING\tBANKS\tTIMEOUT\tFALLBK\tDECIDE p50/p99\tMEM J\tDISK J\tDELAY s")
+	// The fleet columns only appear when the daemon reports a power cap
+	// (any shard carrying budget/actual watts), so an uncapped daemon's
+	// table renders byte-identically to pre-fleet builds.
+	capped := false
 	for _, sh := range st.Shards {
-		fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%s\t%d\t%s\t%d\t%s / %s\t%.1f\t%.1f\t%.2f\n",
+		if sh.BudgetW > 0 || sh.PowerW > 0 {
+			capped = true
+			break
+		}
+	}
+	tw := tabwriter.NewWriter(w, 2, 8, 2, ' ', 0)
+	header := "DISK\tPERIODS\tCONSUMED\tREFS\tRING\tBANKS\tTIMEOUT\tFALLBK\tDECIDE p50/p99\tMEM J\tDISK J\tDELAY s"
+	if capped {
+		header += "\tBUDGET W\tACTUAL W"
+	}
+	fmt.Fprintln(tw, header)
+	for _, sh := range st.Shards {
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%s\t%d\t%s\t%d\t%s / %s\t%.1f\t%.1f\t%.2f",
 			sh.Disk, sh.Periods, sh.Consumed, sh.RefsIngested, formatRing(sh.RingLen, sh.RingCap),
 			sh.Banks, formatTimeout(sh.TimeoutS),
 			sh.Fallbacks, formatMs(sh.DecideP50Ms), formatMs(sh.DecideP99Ms),
 			sh.Energy.MemJ(), sh.Energy.DiskJ(), sh.Energy.DelayS)
+		if capped {
+			fmt.Fprintf(tw, "\t%s\t%s", formatWatts(sh.BudgetW), formatWatts(sh.PowerW))
+		}
+		fmt.Fprintln(tw)
 	}
 	if err := tw.Flush(); err != nil {
 		return err
@@ -94,6 +112,32 @@ func renderPeriods(w io.Writer, pr serve.PeriodsResponse) error {
 		}
 	}
 	return tw.Flush()
+}
+
+// renderFleet writes the coordinator's latest solve: the cap header and
+// one row per shard budget, stale rows flagged.
+func renderFleet(w io.Writer, st serve.FleetStatus) error {
+	fmt.Fprintf(w, "power cap %.2f W  floor %.2f W/shard  epoch %d\n\n",
+		st.PowerCapW, st.FloorW, st.Epoch)
+	tw := tabwriter.NewWriter(w, 2, 8, 2, ' ', 0)
+	fmt.Fprintln(tw, "DISK\tBUDGET W\tDEMAND W\tFLOOR W\tSTALE")
+	for _, a := range st.Assignments {
+		stale := "-"
+		if a.Stale {
+			stale = "stale"
+		}
+		fmt.Fprintf(tw, "%s\t%.2f\t%.2f\t%.2f\t%s\n", a.Disk, a.BudgetW, a.DemandW, a.FloorW, stale)
+	}
+	return tw.Flush()
+}
+
+// formatWatts renders a fleet wattage; "-" when the field is absent
+// (shard not yet budgeted).
+func formatWatts(w float64) string {
+	if w == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.2f", w)
 }
 
 // formatRing renders ring occupancy as buffered/capacity; "-" when no

@@ -71,6 +71,8 @@ func run() (retErr error) {
 		decideMode    = flag.String("decide", "incremental", "observation path per shard: batch or incremental (bit-identical decisions)")
 		refitDrift    = flag.Float64("refit-drift", 0, "steady-state refit drift-hold fraction (0: full slate search every period; 0.05 recommended)")
 		flightDepth   = flag.Int("flight", flight.DefaultDepth, "per-shard flight recorder depth in periods (0: disabled)")
+		powerCap      = flag.Float64("power-cap-w", 0, "global power cap in watts shared by every disk's (memory, disk) pair (0 or +Inf: uncapped, bit-identical to a build without the fleet layer)")
+		fleetEpoch    = flag.Int64("fleet-epoch", 1, "with -power-cap-w, reallocate per-shard budgets every N closed periods per shard")
 	)
 	flag.Parse()
 
@@ -115,6 +117,8 @@ func run() (retErr error) {
 		SnapshotEvery:  *snapshotEvery,
 		FlightRecorder: *flightDepth,
 		RefitDriftFrac: *refitDrift,
+		PowerCapW:      *powerCap,
+		FleetEpoch:     *fleetEpoch,
 	}
 	if *metricsAddr != "" {
 		// The HTTP server itself starts below, once the serve.Server
@@ -162,6 +166,7 @@ func run() (retErr error) {
 		msrv, addr, err := obs.ServeWith(*metricsAddr, cfg.Metrics, func(mux *http.ServeMux) {
 			mux.Handle("/debug/status", srv.StatusHandler())
 			mux.Handle("/debug/periods", srv.PeriodsHandler())
+			mux.Handle("/debug/fleet", srv.FleetHandler())
 		})
 		if err != nil {
 			return fmt.Errorf("serving -metrics-addr %s: %w", *metricsAddr, err)

@@ -196,6 +196,53 @@ func TestWarmResumeAfterSigterm(t *testing.T) {
 	}
 }
 
+// TestPowerCapUncappedDifferential is the daemon re-exec level of the
+// fleet differential suite: the same stream run uncapped, with an
+// explicit "-power-cap-w +Inf", and with a slack finite cap must print
+// identical decision lines.
+func TestPowerCapUncappedDifferential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("re-execs daemon runs")
+	}
+	dir := t.TempDir()
+	trPath := filepath.Join(dir, "w.trc")
+	writeTestTrace(t, trPath)
+	traceBytes, err := os.ReadFile(trPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	run := func(extra ...string) []string {
+		cmd := exec.Command(os.Args[0], append(daemonArgs(""), extra...)...)
+		cmd.Env = append(os.Environ(), "JOINTPMD_BE_DAEMON=1")
+		cmd.Stdin = bytes.NewReader(traceBytes)
+		out, err := cmd.Output()
+		if err != nil {
+			t.Fatalf("daemon run %v: %v", extra, err)
+		}
+		return decisionLines(string(out))
+	}
+
+	want := run()
+	if len(want) < 10 {
+		t.Fatalf("reference run printed %d decisions", len(want))
+	}
+	for _, extra := range [][]string{
+		{"-power-cap-w", "+Inf"},
+		{"-power-cap-w", "1000000"},
+	} {
+		got := run(extra...)
+		if len(got) != len(want) {
+			t.Fatalf("%v printed %d decisions, reference %d", extra, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("%v decision %d diverges:\n got %s\nwant %s", extra, i, got[i], want[i])
+			}
+		}
+	}
+}
+
 // TestSocketStream drives the daemon's listener mode: two connections
 // stream two disks over a unix socket, and the daemon emits decision
 // lines tagged with each disk's name.

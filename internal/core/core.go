@@ -218,6 +218,13 @@ type Candidate struct {
 	MemPower      simtime.Watts // static nap power of enabled banks
 	TotalPower    simtime.Watts
 	Feasible      bool
+	// OverBudget marks a candidate whose TotalPower exceeds the fleet
+	// coordinator's per-shard power budget (see SetPowerBudget). Feasible
+	// keeps its paper meaning (the utilization cap); the decision ordering
+	// is what demotes over-budget candidates. Always false when no budget
+	// is installed, so unbudgeted runs are bit-identical to before the
+	// fleet layer existed.
+	OverBudget bool
 	// Energy-attribution inputs (see Decision.PricedLedger): the span the
 	// powers were normalised over, and — when spin-down won — the
 	// predicted spin-up count and standby seconds at the chosen timeout.
@@ -242,6 +249,13 @@ type Decision struct {
 	// Banks/Pages/Timeout carry the held configuration; Chosen still
 	// carries the distrusted winner for introspection.
 	Fallback bool
+	// BudgetW echoes the per-shard power budget the decision was made
+	// under (0: unconstrained), and OverBudget reports the graceful
+	// slack-cap fallback: every candidate priced above the budget, so the
+	// manager proceeded with the best uncapped choice rather than wedge.
+	// Fleet cap-compliance accounting excludes such periods.
+	BudgetW    float64
+	OverBudget bool
 }
 
 // Manager evaluates observations into decisions. It is deterministic and
@@ -256,6 +270,10 @@ type Manager struct {
 
 	hist    *lrusim.DepthHist // incremental observation state; nil until Ingest
 	scratch decideScratch
+
+	// budgetW is the fleet coordinator's per-shard power budget in watts;
+	// 0 (the default) disables the constraint entirely. See budget.go.
+	budgetW float64
 
 	// ingestNs accumulates the current period's ingest span wall time;
 	// only touched when p.SpanHook is set (see Ingest/flushIngestSpan).
@@ -693,6 +711,7 @@ func (m *Manager) price(obs Observation, banks int, prof *depthProfile, interval
 		c.Feasible = false
 		m.met.nonFinite.Inc()
 	}
+	m.applyBudget(&c)
 	m.met.candidates.Inc()
 	if !c.Feasible {
 		m.met.rejectedUtil.Inc()

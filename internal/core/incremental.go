@@ -236,7 +236,10 @@ func (m *Manager) tryDriftHold(o *Observation) (Decision, bool) {
 	s.all = growCandidates(s.all[:0], 1)
 	m.evalSlate(in, s.slateInts(prev.Banks), s.all)
 	c := s.all[0]
-	if !c.Feasible || (!c.FitOK && c.DiskAccesses > 0) || !finitePower(c) {
+	// An over-budget re-evaluation never holds: the fleet coordinator may
+	// have shrunk this shard's budget since the last full search, and only
+	// the full slate knows whether a cheaper size now fits it.
+	if !c.Feasible || c.OverBudget || (!c.FitOK && c.DiskAccesses > 0) || !finitePower(c) {
 		return Decision{}, false
 	}
 	prevPower := float64(prev.Chosen.TotalPower)
@@ -251,6 +254,7 @@ func (m *Manager) tryDriftHold(o *Observation) (Decision, bool) {
 		Chosen:     c,
 		Evaluated:  1,
 		Candidates: append([]Candidate(nil), c),
+		BudgetW:    m.budgetW,
 	}
 	m.last = d
 	m.recordDecision(d)
@@ -273,6 +277,7 @@ func (m *Manager) emptyDecision(o Observation, logLen int) Decision {
 		Banks:   m.p.MinBanks,
 		Pages:   int64(m.p.MinBanks) * m.p.bankPages(),
 		Timeout: m.p.DiskSpec.BreakEven(),
+		BudgetW: m.budgetW,
 	}
 	m.last = d
 	m.met.emptyDecisions.Inc()
@@ -453,7 +458,7 @@ func (m *Manager) decideFrom(in *decideInput) Decision {
 		m.evalSlate(in, s.slate, s.all[base:])
 		for i := base; i < len(s.all); i++ {
 			evaluated++
-			if !bestSet || better(s.all[i], best) {
+			if !bestSet || m.betterCand(s.all[i], best) {
 				best, bestSet = s.all[i], true
 			}
 		}
@@ -500,8 +505,20 @@ func (m *Manager) decideFrom(in *decideInput) Decision {
 			prev = s.all[base]
 			evaluated++
 		}
-		if prev.Feasible && best.Feasible &&
-			float64(best.TotalPower) > (1-h)*float64(prev.TotalPower) {
+		hold := prev.Feasible && best.Feasible &&
+			float64(best.TotalPower) > (1-h)*float64(prev.TotalPower)
+		if m.budgetActive() {
+			// A power budget overrides size inertia in both directions:
+			// never hold an over-budget previous size against a
+			// within-budget winner, and always hold a within-budget
+			// previous size when the winner itself blew the budget.
+			if prev.OverBudget && !best.OverBudget {
+				hold = false
+			} else if prev.Feasible && !prev.OverBudget && best.OverBudget {
+				hold = true
+			}
+		}
+		if hold {
 			best = prev
 			held = true
 			m.met.hysteresis.Inc()
@@ -525,6 +542,12 @@ func (m *Manager) decideFrom(in *decideInput) Decision {
 		Chosen:     best,
 		Evaluated:  evaluated,
 		Candidates: cands,
+		BudgetW:    m.budgetW,
+		// Graceful slack-cap fallback: when even the winner is over
+		// budget the shard cannot meet its share this period; proceed
+		// with the best uncapped choice and flag the decision so fleet
+		// cap-compliance accounting excludes it.
+		OverBudget: best.OverBudget,
 	}
 	// Fallback ladder (graceful degradation): a winner whose Pareto fit
 	// degenerated despite predicted disk activity has a made-up timeout,
@@ -770,6 +793,7 @@ func (m *Manager) priceStats(in *decideInput, banks int, nd, ni int64, covered f
 		c.Feasible = false
 		m.met.nonFinite.Inc()
 	}
+	m.applyBudget(&c)
 	m.met.candidates.Inc()
 	if !c.Feasible {
 		m.met.rejectedUtil.Inc()

@@ -24,6 +24,7 @@ type coreMetrics struct {
 	fitDegenerate  *obs.Counter // core.decide.fit_degenerate
 	fallbacks      *obs.Counter // core.decide.fallback_decisions
 	nonFinite      *obs.Counter // core.decide.nonfinite_candidates
+	budgetOver     *obs.Counter // core.decide.budget_infeasible
 
 	banks   *obs.Gauge // core.decide.banks
 	timeout *obs.Gauge // core.decide.timeout_s
@@ -46,6 +47,7 @@ func newCoreMetrics(r *obs.Registry) coreMetrics {
 		fitDegenerate:  r.Counter("core.decide.fit_degenerate"),
 		fallbacks:      r.Counter("core.decide.fallback_decisions"),
 		nonFinite:      r.Counter("core.decide.nonfinite_candidates"),
+		budgetOver:     r.Counter("core.decide.budget_infeasible"),
 		banks:          r.Gauge("core.decide.banks"),
 		timeout:        r.Gauge("core.decide.timeout_s"),
 		power:          r.Gauge("core.decide.total_power_w"),
@@ -69,6 +71,7 @@ func (cm *coreMetrics) eachCounter(f func(name string, c *obs.Counter)) {
 	f("core.decide.fit_degenerate", cm.fitDegenerate)
 	f("core.decide.fallback_decisions", cm.fallbacks)
 	f("core.decide.nonfinite_candidates", cm.nonFinite)
+	f("core.decide.budget_infeasible", cm.budgetOver)
 }
 
 // recordDecision publishes the decision-level gauges and counters.
@@ -92,12 +95,17 @@ const (
 	// ReasonHysteresisHold: priced below the previous size's power, but
 	// not by enough to overcome the re-sizing hysteresis.
 	ReasonHysteresisHold = "hysteresis-hold"
+	// ReasonOverBudget: priced above the fleet coordinator's per-shard
+	// power budget while the winner stayed within it.
+	ReasonOverBudget = "over-budget"
 )
 
 // rejectionReason names why c lost to winner.
 func rejectionReason(c, winner Candidate, held bool) string {
 	const eps = 1e-9
 	switch {
+	case c.OverBudget && !winner.OverBudget:
+		return ReasonOverBudget
 	case !c.Feasible:
 		return ReasonUtilCap
 	case held && float64(c.TotalPower) < float64(winner.TotalPower)-eps:
@@ -128,6 +136,7 @@ func candidateSummary(c Candidate) obs.CandidateSummary {
 		MemPowerW:      obs.Float(c.MemPower),
 		PredictedWaitS: obs.Float(c.PredictedWait),
 		Feasible:       c.Feasible,
+		OverBudget:     c.OverBudget,
 	}
 }
 
@@ -172,7 +181,7 @@ func (m *Manager) emitTrace(o Observation, logLen int, d Decision, held bool) {
 			losers = append(losers, c)
 		}
 	}
-	sort.SliceStable(losers, func(i, j int) bool { return better(losers[i], losers[j]) })
+	sort.SliceStable(losers, func(i, j int) bool { return m.betterCand(losers[i], losers[j]) })
 	if len(losers) > traceTopK {
 		losers = losers[:traceTopK]
 	}

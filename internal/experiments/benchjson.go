@@ -46,6 +46,17 @@ type BenchSummary struct {
 	RefsPerSecond float64 `json:"refs_per_s,omitempty"`
 	DecideP50Ms   float64 `json:"decide_p50_ms,omitempty"`
 	DecideP99Ms   float64 `json:"decide_p99_ms,omitempty"`
+
+	// Power-cap fields (cmd/fleetbench -power-cap-w): the global cap the
+	// coordinator solved, the peak per-period aggregate of trusted priced
+	// power across every shard, the count of trusted period records that
+	// exceeded the budget they were decided under (0 on a compliant run —
+	// fleetbench exits nonzero otherwise), and the Jain fairness index
+	// over per-shard mean trusted power. All absent on uncapped runs.
+	PowerCapW     float64 `json:"power_cap_w,omitempty"`
+	MaxAggregateW float64 `json:"max_aggregate_w,omitempty"`
+	CapViolations *int    `json:"cap_violations,omitempty"`
+	FairnessIndex float64 `json:"fairness_index,omitempty"`
 }
 
 // WriteBenchSummary writes s to dir/BENCH_<experiment>.json and returns

@@ -13,6 +13,11 @@ const (
 	domainSpinUp = iota
 	domainService
 	domainBank
+	// Fleet-coordinator domains: keyed by (epoch, shard index) rather
+	// than simulation time, so they never consume from — or perturb —
+	// the per-period streams above.
+	domainFleetDrop
+	domainFleetLate
 	numDomains
 )
 
@@ -30,6 +35,8 @@ type injectorMetrics struct {
 	spinupRetries *obs.Counter // fault.spinup_retries
 	latencySpikes *obs.Counter // fault.latency_spikes
 	bankFailures  *obs.Counter // fault.bank_failures
+	summaryDrops  *obs.Counter // fault.fleet_summary_drops
+	summaryLate   *obs.Counter // fault.fleet_summary_late
 }
 
 // Injector replays a Plan deterministically. It implements
@@ -59,6 +66,8 @@ func NewInjector(p Plan, period simtime.Seconds, r *obs.Registry) *Injector {
 			spinupRetries: r.Counter("fault.spinup_retries"),
 			latencySpikes: r.Counter("fault.latency_spikes"),
 			bankFailures:  r.Counter("fault.bank_failures"),
+			summaryDrops:  r.Counter("fault.fleet_summary_drops"),
+			summaryLate:   r.Counter("fault.fleet_summary_late"),
 		},
 	}
 }
@@ -158,6 +167,42 @@ func (j *Injector) CrashAtPeriodBoundary(idx int64) bool {
 		return false
 	}
 	j.met.injected.Inc()
+	return true
+}
+
+// SummaryDropped reports whether the fleet plan scripts shard number
+// shard's epoch-e summary to be lost entirely: the coordinator never
+// sees it and must solve from the last-known summary. Pure in (seed,
+// epoch, shard) — not the per-period op streams — so two coordinators
+// replaying the same epochs see identical drop schedules regardless of
+// what the disk/mem domains consumed. A nil injector drops nothing.
+func (j *Injector) SummaryDropped(epoch int64, shard int) bool {
+	if j == nil {
+		return false
+	}
+	pr := j.plan.Fleet.SummaryDropProb
+	if pr <= 0 || u01(j.plan.Seed, domainFleetDrop, uint64(epoch), uint64(shard)) >= pr {
+		return false
+	}
+	j.met.injected.Inc()
+	j.met.summaryDrops.Inc()
+	return true
+}
+
+// SummaryLate reports whether shard's epoch-e summary arrives after the
+// reallocation deadline: the coordinator solves this epoch from the
+// last-known summary and the fresh one only lands for the next. Same
+// purity contract as SummaryDropped. A nil injector delays nothing.
+func (j *Injector) SummaryLate(epoch int64, shard int) bool {
+	if j == nil {
+		return false
+	}
+	pr := j.plan.Fleet.SummaryLateProb
+	if pr <= 0 || u01(j.plan.Seed, domainFleetLate, uint64(epoch), uint64(shard)) >= pr {
+		return false
+	}
+	j.met.injected.Inc()
+	j.met.summaryLate.Inc()
 	return true
 }
 

@@ -63,6 +63,21 @@ type TraceSegment struct {
 	Drop bool `json:"drop,omitempty"`
 }
 
+// FleetPlan scripts fleet-coordinator faults: per-epoch shard summaries
+// that never reach the coordinator (dropped) or reach it after the
+// reallocation deadline (late). Either way the coordinator must degrade
+// to the shard's last-known summary without ever letting the budget sum
+// exceed the global cap — the 100-seed invariant run in internal/fleet
+// holds exactly that.
+type FleetPlan struct {
+	// SummaryDropProb is the probability that one shard's summary for one
+	// epoch is lost entirely.
+	SummaryDropProb float64 `json:"summary_drop_prob,omitempty"`
+	// SummaryLateProb is the probability that one shard's summary arrives
+	// only after the epoch's reallocation has already solved.
+	SummaryLateProb float64 `json:"summary_late_prob,omitempty"`
+}
+
 // DaemonPlan scripts daemon-process faults: crashes at deterministic
 // points of the serving loop, used by the crash-recovery harness to test
 // checkpoint/restore without real process kills in unit tests.
@@ -82,6 +97,7 @@ type Plan struct {
 	Mem    MemPlan        `json:"mem,omitempty"`
 	Trace  []TraceSegment `json:"trace,omitempty"`
 	Daemon DaemonPlan     `json:"daemon,omitempty"`
+	Fleet  FleetPlan      `json:"fleet,omitempty"`
 }
 
 // IsZero reports whether the plan injects nothing: every probability
@@ -91,7 +107,8 @@ type Plan struct {
 func (p *Plan) IsZero() bool {
 	return p.Disk.SpinUpFailProb == 0 && p.Disk.LatencySpikeProb == 0 &&
 		p.Mem.TransitionFailProb == 0 && len(p.Trace) == 0 &&
-		p.Daemon.CrashAtPeriod == 0
+		p.Daemon.CrashAtPeriod == 0 &&
+		p.Fleet.SummaryDropProb == 0 && p.Fleet.SummaryLateProb == 0
 }
 
 // Validate reports the first structural error in the plan.
@@ -103,6 +120,12 @@ func (p *Plan) Validate() error {
 		return err
 	}
 	if err := prob("mem.transition_fail_prob", p.Mem.TransitionFailProb); err != nil {
+		return err
+	}
+	if err := prob("fleet.summary_drop_prob", p.Fleet.SummaryDropProb); err != nil {
+		return err
+	}
+	if err := prob("fleet.summary_late_prob", p.Fleet.SummaryLateProb); err != nil {
 		return err
 	}
 	if p.Disk.SpinUpMaxRetries < 0 {

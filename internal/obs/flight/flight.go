@@ -84,6 +84,15 @@ type PeriodRecord struct {
 	Fallback     bool      `json:"fallback,omitempty"`
 	Warmup       bool      `json:"warmup,omitempty"`
 	Energy       Ledger    `json:"energy"`
+
+	// Fleet power-cap accounting, all zero (and omitted from JSON) when
+	// no coordinator is attached, so uncapped dumps stay byte-identical.
+	// PowerW is the decision's priced total power; BudgetW the shard's
+	// budget when the period closed; OverBudget marks the graceful
+	// fallback where no candidate fit the budget.
+	PowerW     float64 `json:"power_w,omitempty"`
+	BudgetW    float64 `json:"budget_w,omitempty"`
+	OverBudget bool    `json:"over_budget,omitempty"`
 }
 
 // IngestNsPerRef is the per-reference ingest cost, zero when no

@@ -67,20 +67,24 @@ type ParetoFitSummary struct {
 // is empty on the winner and names why every other candidate lost (see
 // the rejection-reason vocabulary in DESIGN.md).
 type CandidateSummary struct {
-	Banks          int    `json:"banks"`
-	DiskAccesses   int64  `json:"disk_accesses"`
-	IdleCount      int    `json:"idle_count"`
-	Utilization    Float  `json:"utilization"`
-	TimeoutS       Float  `json:"timeout_s"` // null: spin-down disabled
-	TimeoutFloorS  Float  `json:"timeout_floor_s"`
-	FloorClamped   bool   `json:"floor_clamped,omitempty"`
-	TotalPowerW    Float  `json:"total_power_w"`
-	DiskPMPowerW   Float  `json:"disk_pm_power_w"`
-	DiskDynPowerW  Float  `json:"disk_dyn_power_w"`
-	MemPowerW      Float  `json:"mem_power_w"`
-	PredictedWaitS Float  `json:"predicted_wait_s"`
-	Feasible       bool   `json:"feasible"`
-	Reason         string `json:"reason,omitempty"`
+	Banks          int   `json:"banks"`
+	DiskAccesses   int64 `json:"disk_accesses"`
+	IdleCount      int   `json:"idle_count"`
+	Utilization    Float `json:"utilization"`
+	TimeoutS       Float `json:"timeout_s"` // null: spin-down disabled
+	TimeoutFloorS  Float `json:"timeout_floor_s"`
+	FloorClamped   bool  `json:"floor_clamped,omitempty"`
+	TotalPowerW    Float `json:"total_power_w"`
+	DiskPMPowerW   Float `json:"disk_pm_power_w"`
+	DiskDynPowerW  Float `json:"disk_dyn_power_w"`
+	MemPowerW      Float `json:"mem_power_w"`
+	PredictedWaitS Float `json:"predicted_wait_s"`
+	Feasible       bool  `json:"feasible"`
+	// OverBudget marks a candidate priced above the fleet coordinator's
+	// per-shard power budget; omitted (never true) on unbudgeted runs so
+	// existing golden traces stay byte-identical.
+	OverBudget bool   `json:"over_budget,omitempty"`
+	Reason     string `json:"reason,omitempty"`
 }
 
 // DecisionRecord is one JSONL line of the decision-trace journal. Seq

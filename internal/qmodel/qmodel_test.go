@@ -107,6 +107,86 @@ func TestMoments(t *testing.T) {
 	}
 }
 
+// TestMG1WaitSCVPredictorPaths walks every branch of the M/G/1 form the
+// fleet coordinator's delayed-ratio predictor rides
+// (fleet.PredictDelayedRatio → MG1WaitSCV): degenerate zero traffic,
+// negative-SCV clamping, saturation, and the analytic interior.
+func TestMG1WaitSCVPredictorPaths(t *testing.T) {
+	cases := []struct {
+		name            string
+		lambda, es, scv float64
+		want            float64
+		wantErr         bool
+	}{
+		// Zero traffic is a prediction of zero wait, not an error: an
+		// idle shard's summary must not read as saturated.
+		{"zero arrivals", 0, 0.01, 1, 0, false},
+		{"negative arrivals", -3, 0.01, 1, 0, false},
+		{"zero service", 0.5, 0, 1, 0, false},
+		{"negative service", 0.5, -0.01, 1, 0, false},
+		{"both zero", 0, 0, 1, 0, false},
+		// A negative SCV clamps to deterministic service (M/D/1).
+		{"scv clamped to M/D/1", 0.6, 1, -5, 0.75, false},
+		{"scv exactly zero", 0.6, 1, 0, 0.75, false},
+		// SCV=1 is exponential service: ρ·E[S]/(1−ρ) = M/M/1.
+		{"scv one is M/M/1", 0.5, 1, 1, 1, false},
+		// Heavier-tailed service waits proportionally longer.
+		{"scv three", 0.5, 1, 3, 2, false},
+		// At and beyond saturation no stationary queue exists.
+		{"saturated", 1, 1, 1, math.Inf(1), true},
+		{"oversaturated", 2, 1, 1, math.Inf(1), true},
+		// Saturation wins over a degenerate SCV.
+		{"saturated with bad scv", 1.5, 1, -1, math.Inf(1), true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			w, err := MG1WaitSCV(tc.lambda, tc.es, tc.scv)
+			if tc.wantErr {
+				if !errors.Is(err, ErrUnstable) {
+					t.Fatalf("MG1WaitSCV(%g, %g, %g) err = %v, want ErrUnstable",
+						tc.lambda, tc.es, tc.scv, err)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("MG1WaitSCV(%g, %g, %g) unexpected error %v",
+					tc.lambda, tc.es, tc.scv, err)
+			}
+			if !almost(w, tc.want, 1e-12) {
+				t.Fatalf("MG1WaitSCV(%g, %g, %g) = %g, want %g",
+					tc.lambda, tc.es, tc.scv, w, tc.want)
+			}
+		})
+	}
+}
+
+// TestMomentsDegenerate pins the zero-traffic corners of the online
+// moment accumulator feeding empirical SCVs into the predictor.
+func TestMomentsDegenerate(t *testing.T) {
+	cases := []struct {
+		name    string
+		samples []float64
+		mean    float64
+		scv     float64
+	}{
+		{"no samples", nil, 0, 0},
+		{"single sample", []float64{3}, 3, 0},
+		{"all zero samples", []float64{0, 0, 0}, 0, 0},
+		{"constant service", []float64{2, 2, 2, 2}, 2, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var m Moments
+			for _, x := range tc.samples {
+				m.Add(x)
+			}
+			if !almost(m.Mean(), tc.mean, 1e-12) || !almost(m.SCV(), tc.scv, 1e-12) {
+				t.Fatalf("mean %g scv %g, want %g and %g", m.Mean(), m.SCV(), tc.mean, tc.scv)
+			}
+		})
+	}
+}
+
 // Property: wait is monotone in utilization and diverges near saturation.
 func TestQuickWaitMonotone(t *testing.T) {
 	f := func(a, b uint8) bool {

@@ -199,15 +199,7 @@ func TestSnapshotV1Read(t *testing.T) {
 		StackColds:   10,
 		Log:          []logRecord{{Time: 361.5, Page: 7, Depth: -1, Bytes: 65536}},
 	}}
-	payload := encodePayload(states)
-	// The v3 encoder appends an 8-byte drift field after the v2 section;
-	// strip it, then the two zero bytes a zero-valued v2 section encodes
-	// as, to recover the byte stream a v1 writer produced.
-	payload = payload[:len(payload)-8]
-	if payload[len(payload)-1] != 0 || payload[len(payload)-2] != 0 {
-		t.Fatal("expected trailing zero-valued v2 section")
-	}
-	v1 := payload[:len(payload)-2]
+	v1 := encodePayload(states, 1)
 
 	path := filepath.Join(t.TempDir(), "v1.snap")
 	var f bytes.Buffer

@@ -19,6 +19,7 @@ type serveMetrics struct {
 	restores         *obs.Counter // serve.restores
 	lastBanks        *obs.Gauge   // serve.last_banks
 	fallbacks        *obs.Counter // serve.fallbacks
+	fleetEpochs      *obs.Counter // serve.fleet_epochs
 
 	// Period-lifecycle latency histograms (tentpole): Decide wall time,
 	// per-reference ingest cost, and boundary-close-to-emit latency, all
@@ -54,6 +55,7 @@ func newServeMetrics(r *obs.Registry) serveMetrics {
 		restores:         r.Counter("serve.restores"),
 		lastBanks:        r.Gauge("serve.last_banks"),
 		fallbacks:        r.Counter("serve.fallbacks"),
+		fleetEpochs:      r.Counter("serve.fleet_epochs"),
 
 		decideWall:     r.Histogram("serve.decide_wall_s", decideBounds),
 		ingestPerRef:   r.Histogram("serve.ingest_ns_per_ref", []float64{50, 100, 250, 500, 1000, 2500, 5000, 10000}),

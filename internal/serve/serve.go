@@ -16,6 +16,7 @@ package serve
 import (
 	"errors"
 	"fmt"
+	"math"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -24,6 +25,7 @@ import (
 	"jointpm/internal/core"
 	"jointpm/internal/disk"
 	"jointpm/internal/fault"
+	"jointpm/internal/fleet"
 	"jointpm/internal/mem"
 	"jointpm/internal/obs"
 	"jointpm/internal/simtime"
@@ -61,6 +63,19 @@ type Config struct {
 	// running value is checkpointed, so a warm restart keeps the mode the
 	// snapshot was cut with.
 	RefitDriftFrac float64
+
+	// PowerCapW, when finite and positive, activates the fleet
+	// coordinator: a global power cap split FastCap-style into per-shard
+	// budgets every FleetEpoch periods, pushed into each shard's manager
+	// as an extra constraint on the candidate slate. Zero, negative, or
+	// +Inf leaves every shard uncapped — decisions are then byte-identical
+	// to a build without the coordinator.
+	PowerCapW float64
+	// FleetEpoch is how many periods a shard closes between reallocation
+	// epochs (default 1: every boundary re-solves). The cadence is keyed
+	// to the shard's snapshotted period index, so it survives a warm
+	// restart.
+	FleetEpoch int64
 
 	// SnapshotPath enables checkpointing; empty disables it.
 	SnapshotPath string
@@ -121,6 +136,15 @@ func (c Config) withDefaults() (Config, error) {
 	if c.SnapshotEvery < 0 {
 		return c, fmt.Errorf("serve: negative snapshot interval %d", c.SnapshotEvery)
 	}
+	if c.FleetEpoch < 0 {
+		return c, fmt.Errorf("serve: negative fleet epoch %d", c.FleetEpoch)
+	}
+	if c.FleetEpoch == 0 {
+		c.FleetEpoch = 1
+	}
+	if math.IsNaN(c.PowerCapW) {
+		return c, errors.New("serve: power cap is NaN")
+	}
 	if c.Workers <= 0 {
 		c.Workers = runtime.GOMAXPROCS(0)
 	}
@@ -136,6 +160,13 @@ type Server struct {
 	met            serveMetrics
 	started        time.Time
 	flightDepth    int // >0: per-shard flight recorders of this depth
+
+	// coord is the fleet power-cap coordinator; nil when PowerCapW leaves
+	// the server uncapped. fleetMu serialises reallocation epochs (any
+	// shard's ingest goroutine can trigger one).
+	coord   *fleet.Coordinator
+	floorW  float64 // per-shard fairness floor the coordinator solves with
+	fleetMu sync.Mutex
 
 	// Stream-lag extrapolation state for the heartbeat: the last
 	// observed lag and the wall time it was observed at (UnixNano, 0
@@ -190,6 +221,14 @@ func New(cfg Config) (*Server, error) {
 	}
 	if cfg.FlightRecorder > 0 {
 		s.flightDepth = cfg.FlightRecorder
+	}
+	if cfg.PowerCapW > 0 && !math.IsInf(cfg.PowerCapW, 1) {
+		// Fairness floor: the shard's safe default configuration — every
+		// bank napping plus the disk's static draw at the 2-competitive
+		// t_be. No shard is budgeted below it while another holds slack.
+		s.floorW = float64(cfg.MemSpec.NapPower())*float64(totalBanks) +
+			float64(cfg.DiskSpec.StaticPower())
+		s.coord = fleet.NewCoordinator(cfg.PowerCapW, s.floorW)
 	}
 	s.startHeartbeat()
 	return s, nil

@@ -65,6 +65,14 @@ type Shard struct {
 	ckptDue    bool
 	ckptPeriod int64
 
+	// fleetDue marks that a period boundary hit the fleet-epoch cadence;
+	// the reallocation runs after sh.mu is released for the same reason
+	// as ckptDue (FleetReallocate locks every shard to collect
+	// summaries). budgetW is the shard's current fleet budget in watts
+	// (0: uncapped), mirrored into the manager and the snapshot.
+	fleetDue bool
+	budgetW  float64
+
 	// Introspection state, process-local (never snapshotted — like
 	// /metrics, the flight recorder describes this process's life).
 	// timed is fixed at construction: with neither a recorder nor a
@@ -135,6 +143,7 @@ func (sh *Shard) Ingest(req trace.Request) error {
 			if err := sh.closePeriod(); err != nil {
 				return err
 			}
+			sh.fleetEpochLocked()
 		}
 		if sh.timed {
 			start := time.Now()
@@ -176,6 +185,7 @@ func (sh *Shard) IngestBatch(reqs []trace.Request) error {
 				if err := sh.closePeriod(); err != nil {
 					return err
 				}
+				sh.fleetEpochLocked()
 			}
 			// The run of requests strictly before the next boundary.
 			j := i + 1
@@ -234,6 +244,7 @@ func (sh *Shard) FinishTo(t simtime.Seconds) error {
 			if err := sh.closePeriod(); err != nil {
 				return err
 			}
+			sh.fleetEpochLocked()
 		}
 		return nil
 	}()
@@ -400,7 +411,7 @@ func (sh *Shard) closePeriod() error {
 		met.boundaryToEmit.Observe(time.Since(boundaryStart).Seconds())
 		met.addEnergy(led)
 		if sh.rec != nil {
-			sh.rec.Record(flight.PeriodRecord{
+			rec := flight.PeriodRecord{
 				Disk:     sh.name,
 				Period:   idx,
 				Mode:     sh.srv.cfg.Decide.String(),
@@ -415,12 +426,23 @@ func (sh *Shard) closePeriod() error {
 				Fallback: dec.Fallback,
 				Warmup:   warmup,
 				Energy:   led,
-			})
+			}
+			if sh.srv.coord != nil {
+				rec.PowerW = float64(dec.Chosen.TotalPower)
+				rec.BudgetW = sh.budgetW
+				rec.OverBudget = dec.OverBudget
+			}
+			sh.rec.Record(rec)
 		}
 	}
 	if every := sh.srv.cfg.SnapshotEvery; every > 0 && sh.srv.cfg.SnapshotPath != "" && idx%every == 0 {
 		sh.ckptDue = true
 		sh.ckptPeriod = idx
+	}
+	if sh.srv.coord != nil && idx%sh.srv.cfg.FleetEpoch == 0 {
+		// Keyed to the shard's own period index — which the snapshot
+		// persists — so the epoch cadence survives a warm restart.
+		sh.fleetDue = true
 	}
 	return nil
 }
@@ -447,6 +469,7 @@ func (sh *Shard) state() (shardState, []lrusim.DepthRecord) {
 		Misses:       sh.misses,
 		ReqRuns:      sh.reqRuns,
 		RefitDrift:   sh.mgr.Params().RefitDriftFrac,
+		BudgetW:      sh.budgetW,
 	}
 	if sh.srv.cfg.Decide == core.ModeIncremental {
 		st.Mode = int64(core.ModeIncremental)
@@ -492,6 +515,15 @@ func (sh *Shard) restore(st shardState) error {
 		// when the new process's flags differ. Pre-v3 snapshots carry -1
 		// and leave the configured value alone.
 		sh.mgr.SetRefitDriftFrac(st.RefitDrift)
+	}
+	if st.BudgetW > 0 {
+		// Resume the fleet budget the checkpointed daemon was running
+		// under, so capped decisions between the restart and the next
+		// reallocation epoch match the uninterrupted run bit-identically.
+		// Pre-v4 snapshots decode 0 and leave the shard uncapped until the
+		// first epoch.
+		sh.budgetW = st.BudgetW
+		sh.mgr.SetPowerBudget(st.BudgetW)
 	}
 	sh.stack = lrusim.RestoreStackSim(int(sh.srv.installedPages), st.StackPages, st.StackRefs, st.StackColds)
 	sh.periodIdx = st.PeriodIdx

@@ -48,7 +48,11 @@ const (
 	// restart keeps the mode the checkpointed daemon was running even if
 	// the new process's flags differ; older files decode it as -1 ("keep
 	// the configured value").
-	snapshotVersion    = 3
+	// Version 4 appends the shard's fleet power budget in watts, so a
+	// warm restart under a global power cap resumes capped decisions
+	// bit-identically; older files decode it as 0 ("uncapped until the
+	// first reallocation epoch").
+	snapshotVersion    = 4
 	snapshotVersionMin = 1
 
 	// maxSnapshotShards bounds the shard count a reader will believe, so
@@ -100,6 +104,11 @@ type shardState struct {
 	// decode it as -1, meaning "keep the restored process's configured
 	// value".
 	RefitDrift float64
+
+	// BudgetW (snapshot v4) is the fleet power budget the shard was
+	// running under when the checkpoint was cut; 0 (and any pre-v4 file)
+	// means uncapped.
+	BudgetW float64
 }
 
 type payloadWriter struct {
@@ -127,7 +136,11 @@ func (w *payloadWriter) str(s string) {
 	w.buf.WriteString(s)
 }
 
-func encodePayload(states []shardState) []byte {
+// encodePayload serialises the shards in the layout of the given format
+// version. The daemon always writes snapshotVersion; the parameter
+// exists so the v3→v4 compatibility tests can produce genuine old-format
+// files without keeping frozen fixtures around.
+func encodePayload(states []shardState, version byte) []byte {
 	w := &payloadWriter{}
 	w.uv(uint64(len(states)))
 	for _, st := range states {
@@ -173,9 +186,16 @@ func encodePayload(states []shardState) []byte {
 			w.sv(r.Depth)
 			w.uv(uint64(r.Bytes))
 		}
-		w.uv(uint64(st.Mode))
-		w.uv(uint64(st.IngestedRefs))
-		w.f64(st.RefitDrift)
+		if version >= 2 {
+			w.uv(uint64(st.Mode))
+			w.uv(uint64(st.IngestedRefs))
+		}
+		if version >= 3 {
+			w.f64(st.RefitDrift)
+		}
+		if version >= 4 {
+			w.f64(st.BudgetW)
+		}
 	}
 	return w.buf.Bytes()
 }
@@ -376,17 +396,27 @@ func decodeShard(r *payloadReader, version byte) (shardState, error) {
 	} else {
 		st.RefitDrift = -1 // pre-v3: keep the configured value
 	}
+	if version >= 4 {
+		if st.BudgetW, err = r.f64(); err != nil {
+			return st, err
+		}
+	}
 	return st, nil
 }
 
 // writeSnapshotFile atomically replaces path with a snapshot of states
-// and returns the file size.
+// and returns the file size. The daemon always writes the current
+// format; writeSnapshotFileV exists for the compatibility tests.
 func writeSnapshotFile(path string, states []shardState) (int64, error) {
-	payload := encodePayload(states)
+	return writeSnapshotFileV(path, states, snapshotVersion)
+}
+
+func writeSnapshotFileV(path string, states []shardState, version byte) (int64, error) {
+	payload := encodePayload(states, version)
 
 	var hdr bytes.Buffer
 	hdr.WriteString(snapshotMagic)
-	hdr.WriteByte(snapshotVersion)
+	hdr.WriteByte(version)
 	var lenBuf [8]byte
 	binary.LittleEndian.PutUint64(lenBuf[:], uint64(len(payload)))
 	hdr.Write(lenBuf[:])

@@ -46,6 +46,12 @@ type ShardStatus struct {
 	FlightTotal int64 `json:"flight_total"`
 	// Energy is the cumulative priced ledger over every closed period.
 	Energy flight.Ledger `json:"energy"`
+	// BudgetW and PowerW are the fleet power-cap columns: the shard's
+	// current budget and the last decision's priced power. Both zero
+	// (and omitted) when no coordinator is active, so uncapped status
+	// payloads are byte-identical to pre-fleet builds.
+	BudgetW float64 `json:"budget_w,omitempty"`
+	PowerW  float64 `json:"power_w,omitempty"`
 }
 
 // Status is the daemon-wide summary served on /debug/status and
@@ -77,6 +83,10 @@ func (sh *Shard) status() ShardStatus {
 		TimeoutS:     obs.Float(last.Timeout),
 		Fallbacks:    sh.fallbacks,
 		RefsIngested: sh.refsTotal,
+	}
+	if sh.srv.coord != nil {
+		st.BudgetW = sh.budgetW
+		st.PowerW = float64(last.Chosen.TotalPower)
 	}
 	sh.mu.Unlock()
 	if ring := sh.ring.Load(); ring != nil {

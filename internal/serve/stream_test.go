@@ -252,10 +252,8 @@ func TestRefitDriftSnapshotKeepsMode(t *testing.T) {
 // decoding it must yield the -1 sentinel, and restoring a sentinel
 // state must keep the restarted process's configured fraction.
 func TestRefitDriftPreV3Sentinel(t *testing.T) {
-	// A v3 single-shard payload is the v2 payload plus one trailing f64.
 	st := shardState{Name: "d0", NextBoundary: 120, RefitDrift: 0.05}
-	payload := encodePayload([]shardState{st})
-	v2 := payload[:len(payload)-8]
+	v2 := encodePayload([]shardState{st}, 2)
 	states, err := decodePayload(v2, 2)
 	if err != nil {
 		t.Fatal(err)
