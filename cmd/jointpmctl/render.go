@@ -33,8 +33,14 @@ func renderStatus(w io.Writer, addr string, st serve.Status) error {
 			break
 		}
 	}
+	// Likewise the SPEED column only appears on multi-speed daemons
+	// (the status reports its DRPM ladder size).
+	multiSpeed := st.SpeedLevels > 1
 	tw := tabwriter.NewWriter(w, 2, 8, 2, ' ', 0)
 	header := "DISK\tPERIODS\tCONSUMED\tREFS\tRING\tBANKS\tTIMEOUT\tFALLBK\tDECIDE p50/p99\tMEM J\tDISK J\tDELAY s"
+	if multiSpeed {
+		header += "\tSPEED"
+	}
 	if capped {
 		header += "\tBUDGET W\tACTUAL W"
 	}
@@ -45,6 +51,9 @@ func renderStatus(w io.Writer, addr string, st serve.Status) error {
 			sh.Banks, formatTimeout(sh.TimeoutS),
 			sh.Fallbacks, formatMs(sh.DecideP50Ms), formatMs(sh.DecideP99Ms),
 			sh.Energy.MemJ(), sh.Energy.DiskJ(), sh.Energy.DelayS)
+		if multiSpeed {
+			fmt.Fprintf(tw, "\t%d/%d", sh.SpeedLevel, st.SpeedLevels-1)
+		}
 		if capped {
 			fmt.Fprintf(tw, "\t%s\t%s", formatWatts(sh.BudgetW), formatWatts(sh.PowerW))
 		}

@@ -73,6 +73,7 @@ func run() (retErr error) {
 		flightDepth   = flag.Int("flight", flight.DefaultDepth, "per-shard flight recorder depth in periods (0: disabled)")
 		powerCap      = flag.Float64("power-cap-w", 0, "global power cap in watts shared by every disk's (memory, disk) pair (0 or +Inf: uncapped, bit-identical to a build without the fleet layer)")
 		fleetEpoch    = flag.Int64("fleet-epoch", 1, "with -power-cap-w, reallocate per-shard budgets every N closed periods per shard")
+		speedLevels   = flag.Int("speed-levels", 0, "derive a DRPM speed ladder of N levels from the disk spec and price every candidate at every level (0 or 1: single-speed, bit-identical to a build without the ladder)")
 	)
 	flag.Parse()
 
@@ -119,6 +120,7 @@ func run() (retErr error) {
 		RefitDriftFrac: *refitDrift,
 		PowerCapW:      *powerCap,
 		FleetEpoch:     *fleetEpoch,
+		SpeedLevels:    *speedLevels,
 	}
 	if *metricsAddr != "" {
 		// The HTTP server itself starts below, once the serve.Server
@@ -148,9 +150,18 @@ func run() (retErr error) {
 	}
 
 	var outMu sync.Mutex
+	multiSpeed := *speedLevels > 1
 	cfg.OnDecision = func(d serve.Decision) {
 		outMu.Lock()
 		defer outMu.Unlock()
+		// The level column only appears on multi-speed daemons, so
+		// single-speed decision logs stay byte-identical to older builds.
+		if multiSpeed {
+			fmt.Printf("decision disk=%s period=%d banks=%d pages=%d timeout=%s fallback=%t level=%d\n",
+				d.Disk, d.Period, d.Decision.Banks, d.Decision.Pages,
+				formatTimeout(d.Decision.Timeout), d.Decision.Fallback, d.Decision.Level)
+			return
+		}
 		fmt.Printf("decision disk=%s period=%d banks=%d pages=%d timeout=%s fallback=%t\n",
 			d.Disk, d.Period, d.Decision.Banks, d.Decision.Pages,
 			formatTimeout(d.Decision.Timeout), d.Decision.Fallback)

@@ -51,6 +51,7 @@ func run() (retErr error) {
 		decTrace      = flag.String("decision-trace", "", "append one JSON line per joint decision to this file")
 		decideMode    = flag.String("decide", "incremental", "joint observation path: batch or incremental (bit-identical decisions)")
 		refitDrift    = flag.Float64("refit-drift", 0, "steady-state refit drift-hold fraction (0: full slate search every period; 0.05 recommended)")
+		speedLevels   = flag.Int("speed-levels", 0, "derive a DRPM speed ladder of N levels from the disk spec; the joint slate prices every candidate at every level (0 or 1: single-speed)")
 		faultsPath    = flag.String("faults", "", "JSON fault plan: run under injected faults and check invariants")
 		faultSeed     = flag.Uint64("fault-seed", 1, "seed for the -faults injector")
 		cpuprofile    = flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -148,6 +149,7 @@ func run() (retErr error) {
 		Method:         m,
 		Decide:         mode,
 		RefitDriftFrac: *refitDrift,
+		SpeedLevels:    *speedLevels,
 		InstalledMem:   installed,
 		BankSize:       bankSize,
 		Period:         simtime.Seconds(*period),

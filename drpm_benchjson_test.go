@@ -1,0 +1,64 @@
+package jointpm
+
+import (
+	"math"
+	"os"
+	"testing"
+	"time"
+
+	"jointpm/internal/experiments"
+)
+
+// TestWriteDrpmBenchSummary regenerates BENCH_drpm.json: the
+// machine-readable record of what pricing DRPM speed states in the joint
+// slate buys on short-idle-gap traffic. The workload (see
+// experiments.DrpmHeadroom) keeps every idle gap two orders of magnitude
+// below the spin-down break-even time, so the single-speed slate's best
+// move is t_o = +Inf at full idle power — the regime where spin-down
+// alone saves nothing. joint_energy_pct is the four-level ladder run's
+// total energy as a percentage of that single-speed joint run (not of
+// always-on: the headroom being measured is slate-vs-slate). Only runs
+// when JOINTPM_BENCH_JSON names an output directory:
+//
+//	JOINTPM_BENCH_JSON=. go test -run TestWriteDrpmBenchSummary .
+func TestWriteDrpmBenchSummary(t *testing.T) {
+	dir := os.Getenv(experiments.BenchJSONEnv)
+	if dir == "" {
+		t.Skipf("set %s to a directory to write BENCH_drpm.json", experiments.BenchJSONEnv)
+	}
+
+	s := quickScale()
+	start := time.Now()
+	single, multi, err := experiments.DrpmHeadroom(s, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wall := time.Since(start).Seconds()
+
+	// Guard the scenario: if the single-speed slate ever found a finite
+	// timeout, the gaps are not short enough and the headroom number
+	// would be measuring the wrong thing.
+	for _, p := range single.Periods {
+		if p.Decision != nil && !math.IsInf(float64(p.Timeout), 1) {
+			t.Fatalf("single-speed slate chose finite timeout %v; workload no longer short-gap", p.Timeout)
+		}
+	}
+	if multi.TotalEnergy() >= single.TotalEnergy() {
+		t.Fatalf("speed ladder saved nothing: %v >= %v", multi.TotalEnergy(), single.TotalEnergy())
+	}
+
+	path, err := experiments.WriteBenchSummary(dir, experiments.BenchSummary{
+		Experiment:     "drpm",
+		Scale:          s.Name,
+		Point:          "16GB at 100MB/s short gaps; 4-level ladder vs single-speed joint slate",
+		JointEnergyPct: float64(multi.TotalEnergy()) / float64(single.TotalEnergy()) * 100,
+		DelayedPerSec:  multi.DelayedPerSecond(),
+		WallSeconds:    wall,
+		Iterations:     1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s: ladder run at %.1f%% of the single-speed slate's energy",
+		path, float64(multi.TotalEnergy())/float64(single.TotalEnergy())*100)
+}

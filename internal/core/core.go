@@ -45,6 +45,19 @@ type Params struct {
 	DiskSpec disk.Spec
 	MemSpec  mem.Spec
 
+	// SpeedLevels is the disk's DRPM speed ladder, fastest first; level 0
+	// must carry the base DiskSpec's constants verbatim. With zero or one
+	// level the speed dimension is absent from the slate and every code
+	// path is bit-identical to a build without it; with ≥2 levels each
+	// candidate size is additionally priced at every level (see speed.go)
+	// and the winner carries its chosen level. Ladders are normally built
+	// by drpm.DeriveLevels from the DiskSpec.
+	SpeedLevels []disk.SpeedLevel
+	// SpeedTransitionPerRPM is the time to change rotational speed per
+	// RPM of difference, priced into cross-level candidates as a one-off
+	// premium for the coming period (see priceLevel).
+	SpeedTransitionPerRPM simtime.Seconds
+
 	// MaxCandidatesPerPass bounds one enumeration pass; the search uses
 	// coarse-to-fine refinement to reach EnumUnit granularity without
 	// replaying the log for thousands of sizes.
@@ -166,6 +179,20 @@ func (p Params) Validate() error {
 	case p.EnumUnit < p.BankSize || p.EnumUnit%p.BankSize != 0:
 		return fmt.Errorf("core: enum unit %v not a bank multiple", p.EnumUnit)
 	}
+	if len(p.SpeedLevels) > 0 {
+		if p.SpeedTransitionPerRPM < 0 || math.IsNaN(float64(p.SpeedTransitionPerRPM)) {
+			return fmt.Errorf("core: speed transition rate %v s/RPM must be non-negative", p.SpeedTransitionPerRPM)
+		}
+		for i, l := range p.SpeedLevels {
+			if !(l.IdlePower > p.DiskSpec.StandbyPower) {
+				return fmt.Errorf("core: speed level %d idle power %v must exceed standby power %v",
+					i, l.IdlePower, p.DiskSpec.StandbyPower)
+			}
+			if !(l.TransferRate > 0) {
+				return fmt.Errorf("core: speed level %d transfer rate %g must be positive", i, l.TransferRate)
+			}
+		}
+	}
 	return nil
 }
 
@@ -232,6 +259,10 @@ type Candidate struct {
 	SpanS    simtime.Seconds
 	SpinUps  int64
 	StandbyS simtime.Seconds
+	// Level is the DRPM speed-ladder index this candidate was priced at
+	// (0 = full speed, and always 0 without a ladder — see
+	// Params.SpeedLevels).
+	Level int
 }
 
 // Decision is the manager's output for the coming period.
@@ -256,6 +287,11 @@ type Decision struct {
 	// Fleet cap-compliance accounting excludes such periods.
 	BudgetW    float64
 	OverBudget bool
+	// Level is the DRPM speed level the disk should run the coming period
+	// at (0 = full speed, and always 0 without a ladder). On a fallback
+	// decision it holds the previous period's level, matching how
+	// Banks/Timeout hold.
+	Level int
 }
 
 // Manager evaluates observations into decisions. It is deterministic and
@@ -676,6 +712,7 @@ func (m *Manager) price(obs Observation, banks int, prof *depthProfile, interval
 	c.Timeout = simtime.Seconds(math.Inf(1))
 	c.DiskPMPower = simtime.Watts(pd) // always-on default
 	ts, h := empiricalPMStats(intervals, float64(tc.Timeout))
+	tailTS := ts // unclamped standby seconds, kept for the speed refinement
 	if ts > T {
 		ts = T
 	}
@@ -715,6 +752,13 @@ func (m *Manager) price(obs Observation, banks int, prof *depthProfile, interval
 	m.met.candidates.Inc()
 	if !c.Feasible {
 		m.met.rejectedUtil.Inc()
+	}
+	// Speed refinement: re-price this size at every other ladder level and
+	// keep the cheapest (see speed.go). Absent a multi-level ladder this
+	// is a single branch and the candidate above is returned untouched.
+	if m.speedEnabled() {
+		c = m.refineReplayLevels(c, intervals, tc, requests,
+			refillPages/obs.CoalesceFactor, T, tailTS, int64(h))
 	}
 	return c
 }

@@ -251,6 +251,7 @@ func (m *Manager) tryDriftHold(o *Observation) (Decision, bool) {
 		Banks:      c.Banks,
 		Pages:      c.Pages,
 		Timeout:    c.Timeout,
+		Level:      c.Level,
 		Chosen:     c,
 		Evaluated:  1,
 		Candidates: append([]Candidate(nil), c),
@@ -277,6 +278,10 @@ func (m *Manager) emptyDecision(o Observation, logLen int) Decision {
 		Banks:   m.p.MinBanks,
 		Pages:   int64(m.p.MinBanks) * m.p.bankPages(),
 		Timeout: m.p.DiskSpec.BreakEven(),
+		// Hold the current speed level: with the disk asleep all period a
+		// speed change buys nothing and would cost a transition. Always 0
+		// (the zero value) without a ladder.
+		Level:   m.curLevel(),
 		BudgetW: m.budgetW,
 	}
 	m.last = d
@@ -539,6 +544,7 @@ func (m *Manager) decideFrom(in *decideInput) Decision {
 		Banks:      best.Banks,
 		Pages:      best.Pages,
 		Timeout:    best.Timeout,
+		Level:      best.Level,
 		Chosen:     best,
 		Evaluated:  evaluated,
 		Candidates: cands,
@@ -565,6 +571,7 @@ func (m *Manager) decideFrom(in *decideInput) Decision {
 		d.Banks = m.last.Banks
 		d.Pages = m.last.Pages
 		d.Timeout = m.last.Timeout
+		d.Level = m.last.Level
 		d.Fallback = true
 		m.met.fallbacks.Inc()
 	}
@@ -706,6 +713,14 @@ func (m *Manager) evalSlate(in *decideInput, banks []int, out []Candidate) {
 				m.met.rejectedDelay.Inc()
 			}
 		}
+	}
+
+	// Speed refinement: price every slate slot at the other ladder levels
+	// and keep each size's cheapest (m, t_o, l). Runs after phase 4 so it
+	// can reuse the to2/ts2/h2 scratch; with a single-level ladder this
+	// is one false branch and the slate above is untouched (see speed.go).
+	if m.speedEnabled() {
+		m.refineSlateLevels(in, banks, out)
 	}
 }
 

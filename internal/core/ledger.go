@@ -27,6 +27,12 @@ import (
 // Fallback, warmup, and empty periods were never priced: the ledger
 // degrades to the held configuration's nap floor over the configured
 // period so per-shard accumulation stays monotone and comparable.
+//
+// Speed-slate candidates need no special casing: at every ladder level
+// pd(l)·t_be(l) = TransitionEnergy (the break-even is defined by that
+// ratio), so StaticPower·BreakEven below equals the per-spin-up energy
+// regardless of the chosen level, and a cross-level transition premium
+// lands in DiskActiveJ with the rest of DiskPMPower.
 func (d Decision) PricedLedger(p Params) flight.Ledger {
 	c := d.Chosen
 	if d.Fallback || float64(c.SpanS) <= 0 {

@@ -137,6 +137,7 @@ func candidateSummary(c Candidate) obs.CandidateSummary {
 		PredictedWaitS: obs.Float(c.PredictedWait),
 		Feasible:       c.Feasible,
 		OverBudget:     c.OverBudget,
+		SpeedLevel:     c.Level,
 	}
 }
 

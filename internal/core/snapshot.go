@@ -23,6 +23,10 @@ type State struct {
 	Pages    int64
 	Timeout  simtime.Seconds
 	Fallback bool
+	// Level is the DRPM speed level the last decision chose (0 = full
+	// speed; always 0 without a ladder). Serialized as a v5 snapshot
+	// section by internal/serve; pre-v5 snapshots restore as full speed.
+	Level int
 	// Counters carries the core.decide.* counter values so telemetry
 	// survives a restart; nil when the manager runs without a registry.
 	Counters map[string]int64
@@ -35,6 +39,7 @@ func (m *Manager) Snapshot() State {
 		Pages:    m.last.Pages,
 		Timeout:  m.last.Timeout,
 		Fallback: m.last.Fallback,
+		Level:    m.last.Level,
 	}
 	m.met.eachCounter(func(name string, c *obs.Counter) {
 		if v := c.Value(); v != 0 {
@@ -66,11 +71,19 @@ func (m *Manager) Restore(st State) error {
 			return fmt.Errorf("core: restore: counter %s negative (%d)", name, v)
 		}
 	}
+	maxLevel := len(m.p.SpeedLevels)
+	if maxLevel == 0 {
+		maxLevel = 1 // no ladder: only full speed is representable
+	}
+	if st.Level < 0 || st.Level >= maxLevel {
+		return fmt.Errorf("core: restore: speed level %d outside ladder of %d", st.Level, maxLevel)
+	}
 	m.last = Decision{
 		Banks:    st.Banks,
 		Pages:    st.Pages,
 		Timeout:  st.Timeout,
 		Fallback: st.Fallback,
+		Level:    st.Level,
 	}
 	m.met.eachCounter(func(name string, c *obs.Counter) {
 		if want, ok := st.Counters[name]; ok {
@@ -125,6 +138,12 @@ func MergeParams(base, o Params) Params {
 	}
 	if o.HysteresisFrac != 0 {
 		base.HysteresisFrac = o.HysteresisFrac
+	}
+	if len(o.SpeedLevels) > 0 {
+		base.SpeedLevels = o.SpeedLevels
+	}
+	if o.SpeedTransitionPerRPM > 0 {
+		base.SpeedTransitionPerRPM = o.SpeedTransitionPerRPM
 	}
 	if o.Metrics != nil {
 		base.Metrics = o.Metrics

@@ -89,6 +89,21 @@ func (s Spec) Bandwidth(size simtime.Bytes) float64 {
 	return float64(size) / float64(s.ServiceTime(size))
 }
 
+// SpeedLevel is one rotational-speed step of a multi-RPM (DRPM) drive
+// ladder, in the spirit of Gurumurthi et al.: idle power scales with the
+// square of the speed ratio, transfer rate linearly, rotational latency
+// inversely. The ladder itself is derived by internal/drpm (DeriveLevels)
+// and consumed here and by the joint manager's candidate slate
+// (core.Params.SpeedLevels); the type lives in this package so core does
+// not need to import drpm.
+type SpeedLevel struct {
+	RPM          int
+	IdlePower    simtime.Watts
+	ActivePower  simtime.Watts
+	TransferRate float64         // bytes/second at this speed
+	RotLatency   simtime.Seconds // average rotational delay
+}
+
 // State is the disk's power state.
 type State int
 
@@ -217,6 +232,18 @@ type Disk struct {
 	faults   FaultInjector
 
 	idleRecorder func(simtime.Seconds) // optional sink for raw idle intervals
+
+	// Multi-speed (DRPM) state. levels == nil is the classic single-speed
+	// drive and leaves every code path above bit-identical; with a ladder
+	// attached, on/busy time is additionally attributed per level so
+	// Energy can price each second at its level's power constants.
+	levels           []SpeedLevel
+	transPerRPM      simtime.Seconds // speed-change time per RPM of difference
+	level            int             // current ladder index (0 = full speed)
+	levelOn          []simtime.Seconds
+	levelBusy        []simtime.Seconds
+	speedTransJ      simtime.Joules // energy spent changing speeds
+	speedTransitions int64
 }
 
 // New creates a spinning, idle disk at time 0 with spin-down disabled
@@ -276,11 +303,29 @@ func (d *Disk) advance(t simtime.Seconds) {
 	}
 	switch d.state {
 	case StateIdle, StateActive:
-		d.stats.OnTime += t - d.now
+		d.accrueOn(t - d.now)
 	case StateStandby:
 		d.stats.StandbyTime += t - d.now
 	}
 	d.now = t
+}
+
+// accrueOn adds spinning time, attributing it to the current speed level
+// when a ladder is attached.
+func (d *Disk) accrueOn(dt simtime.Seconds) {
+	d.stats.OnTime += dt
+	if d.levels != nil {
+		d.levelOn[d.level] += dt
+	}
+}
+
+// accrueBusy adds service time, attributing it to the current speed level
+// when a ladder is attached.
+func (d *Disk) accrueBusy(dt simtime.Seconds) {
+	d.stats.BusyTime += dt
+	if d.levels != nil {
+		d.levelBusy[d.level] += dt
+	}
 }
 
 // spinDownAt transitions idle→standby at time ts (ts ≥ d.now is not
@@ -288,7 +333,7 @@ func (d *Disk) advance(t simtime.Seconds) {
 // target, in which case on-time up to ts is accounted first).
 func (d *Disk) spinDownAt(ts simtime.Seconds) {
 	if ts > d.now {
-		d.stats.OnTime += ts - d.now
+		d.accrueOn(ts - d.now)
 		d.now = ts
 	}
 	d.state = StateStandby
@@ -301,7 +346,21 @@ func (d *Disk) spinDownAt(ts simtime.Seconds) {
 // order. A request that finds the disk in standby pays the spin-up delay;
 // a request that finds it busy queues FCFS.
 func (d *Disk) Submit(arrival simtime.Seconds, size simtime.Bytes) (finish, latency simtime.Seconds) {
-	return d.submitWithService(arrival, size, d.spec.ServiceTime(size))
+	return d.submitWithService(arrival, size, d.serviceTime(size))
+}
+
+// serviceTime returns the mechanical service time at the current speed
+// level. Without a ladder (or at full speed) it is exactly the spec's
+// model, keeping the single-speed path bit-identical.
+func (d *Disk) serviceTime(size simtime.Bytes) simtime.Seconds {
+	if d.levels == nil || d.level == 0 {
+		return d.spec.ServiceTime(size)
+	}
+	if size < 0 {
+		size = 0
+	}
+	l := d.levels[d.level]
+	return d.spec.SeekTime + l.RotLatency + simtime.Seconds(float64(size)/l.TransferRate)
 }
 
 // submitWithService is Submit with an externally computed service time
@@ -356,10 +415,10 @@ func (d *Disk) submitWithService(arrival simtime.Seconds, size simtime.Bytes, se
 	// behind earlier requests (already accounted by their Submit calls —
 	// the now guard prevents double counting), and this service.
 	if finish > d.now {
-		d.stats.OnTime += finish - d.now
+		d.accrueOn(finish - d.now)
 		d.now = finish
 	}
-	d.stats.BusyTime += service
+	d.accrueBusy(service)
 	d.stats.Requests++
 	d.stats.BytesMoved += size
 	d.stats.TotalLatency += latency
@@ -395,6 +454,71 @@ func (d *Disk) recordIdle(idle simtime.Seconds, spunDown bool) {
 	}
 }
 
+// SetSpeedLevels attaches a DRPM speed ladder (level 0 must be full
+// speed, matching the spec) and the per-RPM speed-change time. An empty
+// ladder detaches multi-speed support, restoring the exact single-speed
+// code paths. The drive starts (or resets to) full speed.
+func (d *Disk) SetSpeedLevels(levels []SpeedLevel, perRPM simtime.Seconds) {
+	if len(levels) == 0 {
+		d.levels, d.levelOn, d.levelBusy = nil, nil, nil
+		d.level = 0
+		return
+	}
+	d.levels = append([]SpeedLevel(nil), levels...)
+	d.transPerRPM = perRPM
+	d.level = 0
+	d.levelOn = make([]simtime.Seconds, len(levels))
+	d.levelBusy = make([]simtime.Seconds, len(levels))
+}
+
+// SetSpeedLevel changes the rotational speed at simulated time t. A
+// no-op without a ladder or when lvl is the current level; out-of-range
+// levels are clamped. A speed change on a spinning drive costs
+// transPerRPM·|ΔRPM| during which the platter is unavailable (the queue
+// is pushed back) and draws the higher of the two levels' idle powers —
+// the same convention internal/drpm's standalone model uses. Changing
+// "speed" while in standby just retargets the level the next spin-up
+// arrives at, with no extra cost (the platter is not turning).
+func (d *Disk) SetSpeedLevel(t simtime.Seconds, lvl int) {
+	if d.levels == nil {
+		return
+	}
+	if lvl < 0 {
+		lvl = 0
+	}
+	if lvl >= len(d.levels) {
+		lvl = len(d.levels) - 1
+	}
+	d.advance(t)
+	if lvl == d.level {
+		return
+	}
+	if d.state != StateStandby {
+		diff := d.levels[lvl].RPM - d.levels[d.level].RPM
+		if diff < 0 {
+			diff = -diff
+		}
+		tt := d.transPerRPM * simtime.Seconds(diff)
+		hi := d.levels[d.level].IdlePower
+		if d.levels[lvl].IdlePower > hi {
+			hi = d.levels[lvl].IdlePower
+		}
+		d.speedTransJ += simtime.Energy(hi, tt)
+		d.speedTransitions++
+		if d.now+tt > d.freeAt {
+			d.freeAt = d.now + tt
+		}
+	}
+	d.level = lvl
+}
+
+// SpeedLevel returns the current ladder index (0 without a ladder).
+func (d *Disk) SpeedLevel() int { return d.level }
+
+// SpeedTransitions returns how many speed changes were materialised on a
+// spinning platter.
+func (d *Disk) SpeedTransitions() int64 { return d.speedTransitions }
+
 // FinishTo advances the timeline to t (typically the end of simulation or
 // a period boundary) so trailing idle/standby time is accounted.
 func (d *Disk) FinishTo(t simtime.Seconds) { d.advance(t) }
@@ -416,12 +540,24 @@ func (d *Disk) Stats() Stats { return d.stats }
 // the component spin-down saves), standby floor, and transition energy.
 func (d *Disk) Energy() Energy {
 	total := d.stats.OnTime + d.stats.StandbyTime
-	return Energy{
-		Dynamic:    simtime.Energy(d.spec.DynamicPower(), d.stats.BusyTime),
-		StaticOn:   simtime.Energy(d.spec.StaticPower(), d.stats.OnTime),
-		Floor:      simtime.Energy(d.spec.StandbyPower, total),
-		Transition: simtime.Joules(float64(d.stats.SpinDowns)) * d.spec.TransitionEnergy,
+	if d.levels == nil {
+		return Energy{
+			Dynamic:    simtime.Energy(d.spec.DynamicPower(), d.stats.BusyTime),
+			StaticOn:   simtime.Energy(d.spec.StaticPower(), d.stats.OnTime),
+			Floor:      simtime.Energy(d.spec.StandbyPower, total),
+			Transition: simtime.Joules(float64(d.stats.SpinDowns)) * d.spec.TransitionEnergy,
+		}
 	}
+	// Multi-speed drive: price each level's residency at its own
+	// constants. Speed-change energy joins the transition component.
+	var e Energy
+	for i, l := range d.levels {
+		e.Dynamic += simtime.Energy(l.ActivePower-l.IdlePower, d.levelBusy[i])
+		e.StaticOn += simtime.Energy(l.IdlePower-d.spec.StandbyPower, d.levelOn[i])
+	}
+	e.Floor = simtime.Energy(d.spec.StandbyPower, total)
+	e.Transition = simtime.Joules(float64(d.stats.SpinDowns))*d.spec.TransitionEnergy + d.speedTransJ
+	return e
 }
 
 // OracleGapEnergy returns the energy an offline-optimal ("oracle")

@@ -19,6 +19,7 @@ package drpm
 
 import (
 	"fmt"
+	"math"
 
 	"jointpm/internal/cache"
 	"jointpm/internal/disk"
@@ -27,14 +28,10 @@ import (
 	"jointpm/internal/trace"
 )
 
-// Level is one rotational speed step.
-type Level struct {
-	RPM          int
-	IdlePower    simtime.Watts
-	ActivePower  simtime.Watts
-	TransferRate float64         // bytes/second at this speed
-	RotLatency   simtime.Seconds // average rotational delay
-}
+// Level is one rotational speed step. It is an alias of disk.SpeedLevel
+// so ladders derived here plug straight into the disk model and the
+// joint manager's slate (core.Params.SpeedLevels) without conversion.
+type Level = disk.SpeedLevel
 
 // Spec is a multi-speed drive: a base mechanical/power model plus the
 // derived speed ladder, fastest first.
@@ -46,18 +43,64 @@ type Spec struct {
 	TransitionPerRPM simtime.Seconds
 }
 
+// fallbackTransitionPerRPM is the documented fallback speed-change rate
+// (~0.4 s across a 12k RPM swing, per the DRPM paper's reported
+// full-range transition times), used when the base spec carries no
+// spin-up characteristics to derive a rate from.
+const fallbackTransitionPerRPM = simtime.Seconds(0.4 / 12000)
+
+// speedTransitionFrac scales a drive's full spin-up time down to a
+// per-full-RPM-range speed-change budget: changing speed only
+// re-accelerates the platter, it never waits out the head load and
+// ready sequence a cold spin-up pays. The value is calibrated so a
+// 12k RPM drive with a 10 s spin-up reproduces the DRPM paper's ~0.4 s
+// half-range swing: 0.08 · 10 s · (6000/12000) = 0.4 s.
+const speedTransitionFrac = 0.08
+
 // DeriveLevels builds a Spec from a single-speed drive: `steps` levels
 // from full RPM down to half, idle power scaling quadratically with the
-// speed ratio and service linearly.
+// speed ratio and service linearly. Level 0 copies the base drive's
+// constants verbatim, so a ladder's full-speed level prices exactly like
+// the underlying disk.Spec (bit-identical, not just approximately).
+//
+// fullRPM ≤ 0 derives the spindle speed from the base drive's rotational
+// latency (half a revolution), falling back to 7200 RPM if that is
+// unusable. TransitionPerRPM is derived from the base drive's spin-up
+// time (see speedTransitionFrac); a spec without one gets the documented
+// DRPM-paper fallback rate.
 func DeriveLevels(base disk.Spec, fullRPM, steps int) Spec {
 	if steps < 1 {
 		steps = 1
 	}
+	if fullRPM <= 0 {
+		if base.RotationalLatency > 0 {
+			// Average rotational latency is half a revolution:
+			// RPM = 60 / (2 · rotLatency).
+			fullRPM = int(math.Round(60 / (2 * float64(base.RotationalLatency))))
+		}
+		if fullRPM <= 0 {
+			fullRPM = 7200
+		}
+	}
+	perRPM := fallbackTransitionPerRPM
+	if base.SpinUpTime > 0 {
+		perRPM = simtime.Seconds(speedTransitionFrac * float64(base.SpinUpTime) / float64(fullRPM))
+	}
 	s := Spec{
 		SeekTime:         base.SeekTime,
-		TransitionPerRPM: 0.4 / 12000, // ~0.4 s across a 12k RPM swing
+		TransitionPerRPM: perRPM,
 	}
 	for i := 0; i < steps; i++ {
+		if i == 0 {
+			s.Levels = append(s.Levels, Level{
+				RPM:          fullRPM,
+				IdlePower:    base.IdlePower,
+				ActivePower:  base.ActivePower,
+				TransferRate: base.TransferRate,
+				RotLatency:   base.RotationalLatency,
+			})
+			continue
+		}
 		ratio := 1 - 0.5*float64(i)/float64(maxInt(steps-1, 1)) // 1.0 .. 0.5
 		dynamic := float64(base.ActivePower - base.IdlePower)
 		s.Levels = append(s.Levels, Level{
@@ -78,14 +121,66 @@ func maxInt(a, b int) int {
 	return b
 }
 
+// clampLevel sanitises a level index into the ladder's range, the same
+// way core.SetPowerBudget coerces bad budgets instead of panicking. An
+// empty ladder returns -1 (callers validate via Validate before use).
+func (s Spec) clampLevel(lvl int) int {
+	if len(s.Levels) == 0 {
+		return -1
+	}
+	if lvl < 0 {
+		return 0
+	}
+	if lvl >= len(s.Levels) {
+		return len(s.Levels) - 1
+	}
+	return lvl
+}
+
+// Validate reports structural errors in the ladder instead of letting
+// them surface later as index panics or NaN energies.
+func (s Spec) Validate() error {
+	if len(s.Levels) == 0 {
+		return fmt.Errorf("drpm: spec has no levels")
+	}
+	if s.TransitionPerRPM < 0 || math.IsNaN(float64(s.TransitionPerRPM)) {
+		return fmt.Errorf("drpm: transition rate %v s/RPM must be non-negative", s.TransitionPerRPM)
+	}
+	for i, l := range s.Levels {
+		if !(l.TransferRate > 0) {
+			return fmt.Errorf("drpm: level %d transfer rate %g must be positive", i, l.TransferRate)
+		}
+		if !(l.RotLatency >= 0) {
+			return fmt.Errorf("drpm: level %d rotational latency %v must be non-negative", i, l.RotLatency)
+		}
+		if !(l.IdlePower >= 0) || !(l.ActivePower >= l.IdlePower) {
+			return fmt.Errorf("drpm: level %d powers (idle %v, active %v) must satisfy 0 ≤ idle ≤ active", i, l.IdlePower, l.ActivePower)
+		}
+	}
+	return nil
+}
+
 // ServiceTime returns the service time of one request at a level.
+// Out-of-range levels are clamped; an empty ladder returns 0.
 func (s Spec) ServiceTime(lvl int, size simtime.Bytes) simtime.Seconds {
+	lvl = s.clampLevel(lvl)
+	if lvl < 0 {
+		return 0
+	}
+	if size < 0 {
+		size = 0
+	}
 	l := s.Levels[lvl]
 	return s.SeekTime + l.RotLatency + simtime.Seconds(float64(size)/l.TransferRate)
 }
 
 // TransitionTime returns the time to move between two levels.
+// Out-of-range levels are clamped; an empty ladder returns 0.
 func (s Spec) TransitionTime(from, to int) simtime.Seconds {
+	from, to = s.clampLevel(from), s.clampLevel(to)
+	if from < 0 || to < 0 {
+		return 0
+	}
 	d := s.Levels[from].RPM - s.Levels[to].RPM
 	if d < 0 {
 		d = -d
@@ -158,11 +253,19 @@ func Run(cfg Config) (*Result, error) {
 	if err := cfg.Trace.Validate(); err != nil {
 		return nil, err
 	}
-	if len(cfg.Spec.Levels) == 0 {
-		return nil, fmt.Errorf("drpm: spec has no levels")
+	if err := cfg.Spec.Validate(); err != nil {
+		return nil, err
 	}
-	if cfg.UtilCap <= 0 {
+	// Sanitize the utilization cap the way core.SetPowerBudget coerces
+	// bad budgets: `!(x > 0)` also catches NaN, which `x <= 0` lets
+	// through (NaN would make every level fail the cap and silently pin
+	// full speed). A cap above 1 is meaningless (the disk cannot be more
+	// than fully busy) and clamps to 1.
+	if !(cfg.UtilCap > 0) {
 		cfg.UtilCap = 0.5
+	}
+	if cfg.UtilCap > 1 {
+		cfg.UtilCap = 1
 	}
 	if cfg.Period <= 0 {
 		cfg.Period = 600
@@ -303,6 +406,11 @@ func Run(cfg Config) (*Result, error) {
 }
 
 // SpecSeekRot returns the per-request mechanical overhead at a level.
+// Out-of-range levels are clamped; an empty ladder returns the seek time.
 func (c *Config) SpecSeekRot(lvl int) simtime.Seconds {
+	lvl = c.Spec.clampLevel(lvl)
+	if lvl < 0 {
+		return c.Spec.SeekTime
+	}
 	return c.Spec.SeekTime + c.Spec.Levels[lvl].RotLatency
 }

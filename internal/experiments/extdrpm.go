@@ -1,0 +1,131 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"jointpm/internal/policy"
+	"jointpm/internal/sim"
+	"jointpm/internal/simtime"
+	"jointpm/internal/trace"
+)
+
+// The drpm experiment prices DRPM speed levels inside the joint slate on
+// the workload class the ladder exists for: idle gaps two orders of
+// magnitude below the spin-down break-even time (~12 s for the
+// Barracuda). On such traffic the spin-down-only slate has exactly one
+// rational move — t_o = +Inf, pay full idle power between every miss —
+// while a multi-speed slate can still shed power by letting the platters
+// rotate slower, since a level's feasibility depends on utilization and
+// latency, not on gap length.
+
+// drpmWorkload pins the short-idle-gap operating point: a data set too
+// large to cache outright, streamed steadily enough that misses arrive
+// every few hundred milliseconds. No idle interval ever approaches the
+// break-even time, so the eq. 5 optimum for every spin-down candidate is
+// "never".
+func drpmWorkload(s Scale, seed int64) (*trace.Trace, simtime.Seconds, error) {
+	rate := 100 * s.RateUnit
+	warmup := s.WarmupFor(16*s.Unit, rate)
+	tr, err := s.GenerateBase(16*s.Unit, rate, 0.1, seed, warmup)
+	if err != nil {
+		return nil, 0, err
+	}
+	return tr, warmup, nil
+}
+
+// drpmConfig is the joint-method run with an n-level derived ladder
+// (n ≤ 1: the plain single-speed slate).
+func drpmConfig(r *runner, tr *trace.Trace, warmup simtime.Seconds, levels int) sim.Config {
+	cfg := r.config(tr, policy.Joint(r.scale.InstalledMem), warmup)
+	cfg.SpeedLevels = levels
+	return cfg
+}
+
+// DrpmHeadroom runs the joint method with a single-speed slate and with
+// a four-level ladder over the same short-idle-gap trace and returns
+// both results. The pair is the BENCH_drpm.json headline: the
+// single-speed run is the "before" (every period at t_o = +Inf, full
+// idle power), the ladder run the "after".
+func DrpmHeadroom(s Scale, seed int64) (single, multi *sim.Result, err error) {
+	tr, warmup, err := drpmWorkload(s, seed)
+	if err != nil {
+		return nil, nil, err
+	}
+	r := newRunner(s)
+	if single, err = sim.Run(drpmConfig(r, tr, warmup, 1)); err != nil {
+		return nil, nil, err
+	}
+	if multi, err = sim.Run(drpmConfig(r, tr, warmup, 4)); err != nil {
+		return nil, nil, err
+	}
+	return single, multi, nil
+}
+
+// slowResidency returns the share of adaptation-period time (in %) the
+// joint manager held the disk below full speed.
+func slowResidency(res *sim.Result) float64 {
+	var slow, total float64
+	for _, p := range res.Periods {
+		span := float64(p.End - p.Start)
+		total += span
+		if p.Decision != nil && p.Decision.Level > 0 {
+			slow += span
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return slow / total * 100
+}
+
+// ExtDrpm sweeps the ladder size from 1 (today's spin-down-only slate)
+// upward and reports what the extra speed states buy on traffic where
+// spin-down never pays.
+func ExtDrpm(s Scale, seed int64, w io.Writer) error {
+	tr, warmup, err := drpmWorkload(s, seed)
+	if err != nil {
+		return err
+	}
+	r := newRunner(s)
+	baseline, err := sim.Run(r.config(tr, policy.AlwaysOn(s.InstalledMem), warmup))
+	if err != nil {
+		return err
+	}
+
+	t := newTable("Extension: DRPM speed levels in the joint slate (16GB at 100MB/s)",
+		"levels", "total energy (%)", "disk energy (%)", "mean timeout", "slow time (%)", "mean latency (ms)")
+	for _, n := range []int{1, 2, 4, 6} {
+		res, err := sim.Run(drpmConfig(r, tr, warmup, n))
+		if err != nil {
+			return err
+		}
+		t.addRow(fmt.Sprintf("%d", n),
+			fmtPct(pct(res.TotalEnergy(), baseline.TotalEnergy()), false),
+			fmtPct(pct(res.DiskEnergy.Total(), baseline.DiskEnergy.Total()), false),
+			meanFiniteTimeout(res),
+			fmtF(slowResidency(res), 1, false),
+			fmtF(float64(res.MeanLatency())*1e3, 3, false))
+	}
+	if err := t.render(w); err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "\nexpected shape: the gaps sit far below break-even, so every ladder")
+	fmt.Fprintln(w, "size leaves the timeout at inf — spin-down never pays here. The")
+	fmt.Fprintln(w, "1-level row is bit-identical to the slate without a ladder; from 2")
+	fmt.Fprintln(w, "levels up the manager parks the platters at the lowest rung (idle")
+	fmt.Fprintln(w, "power falls with RPM squared) and latency rises slightly as each")
+	fmt.Fprintln(w, "miss pays the slower rotation. Deeper ladders share endpoints, so")
+	fmt.Fprintln(w, "they only differ where the utilization cap or a busy period binds")
+	fmt.Fprintln(w, "between rungs — the 2/4/6 rows separate by a few disk points at")
+	fmt.Fprintln(w, "most, or coincide outright when the bottom rung is always feasible.")
+	return nil
+}
+
+func init() {
+	registry["drpm"] = Experiment{
+		ID: "drpm", Paper: "extension",
+		Desc: "DRPM speed ladder in the joint slate on short-idle-gap traffic",
+		Run:  ExtDrpm,
+	}
+}

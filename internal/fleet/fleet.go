@@ -41,11 +41,15 @@ type Summary struct {
 	// its equal share of any surplus.
 	DemandW float64 `json:"demand_w"`
 	// Diagnostics carried for /debug/fleet; the solver ignores them.
-	RefsPerSec   float64       `json:"refs_per_s"`
-	DelayedRatio float64       `json:"delayed_ratio"`
-	Banks        int           `json:"banks"`
-	TimeoutS     float64       `json:"timeout_s"`
-	Energy       flight.Ledger `json:"energy"`
+	RefsPerSec   float64 `json:"refs_per_s"`
+	DelayedRatio float64 `json:"delayed_ratio"`
+	Banks        int     `json:"banks"`
+	TimeoutS     float64 `json:"timeout_s"`
+	// Level is the DRPM speed level of the shard's last decision; omitted
+	// (0, full speed) on single-speed shards. A capped fleet reads it as
+	// the "ran slower instead of infeasible" diagnostic.
+	Level  int           `json:"level,omitempty"`
+	Energy flight.Ledger `json:"energy"`
 }
 
 // Assignment is one shard's budget out of a Reallocate solve.

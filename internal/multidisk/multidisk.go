@@ -336,7 +336,7 @@ func Run(c Config) (*Result, error) {
 		p := core.DefaultParams(pageSize, cfg.BankSize, totalBanks, cfg.DiskSpec, cfg.MemSpec)
 		p.Period = cfg.Period
 		p.LongLatency = cfg.LongLatency
-		p = overlayJoint(p, cfg.Joint)
+		p = core.MergeParams(p, cfg.Joint)
 		if mgr, err = core.NewManager(p); err != nil {
 			return nil, err
 		}
@@ -531,29 +531,3 @@ func Run(c Config) (*Result, error) {
 
 // debugHook, when set by tests, observes per-disk timeout decisions.
 var debugHook func(d, ni int, nd int64, tc core.TimeoutChoice, pm float64, to simtime.Seconds)
-
-// overlayJoint merges non-zero overrides, mirroring sim's behaviour.
-func overlayJoint(base, o core.Params) core.Params {
-	if o.Period > 0 {
-		base.Period = o.Period
-	}
-	if o.Window > 0 {
-		base.Window = o.Window
-	}
-	if o.UtilCap > 0 {
-		base.UtilCap = o.UtilCap
-	}
-	if o.DelayCap > 0 {
-		base.DelayCap = o.DelayCap
-	}
-	if o.MinBanks > 0 {
-		base.MinBanks = o.MinBanks
-	}
-	if o.MaxCandidatesPerPass > 0 {
-		base.MaxCandidatesPerPass = o.MaxCandidatesPerPass
-	}
-	if o.HysteresisFrac != 0 {
-		base.HysteresisFrac = o.HysteresisFrac
-	}
-	return base
-}

@@ -1,8 +1,12 @@
 package multidisk
 
 import (
+	"reflect"
 	"testing"
 
+	"jointpm/internal/core"
+	"jointpm/internal/disk"
+	"jointpm/internal/drpm"
 	"jointpm/internal/mem"
 	"jointpm/internal/simtime"
 	"jointpm/internal/trace"
@@ -232,5 +236,48 @@ func TestStrings(t *testing.T) {
 	if AlwaysOn.String() != "always-on" || TwoCompetitive.String() != "2T" ||
 		Joint.String() != "joint" || DiskMethod(9).String() != "unknown" {
 		t.Error("method strings")
+	}
+}
+
+// TestJointOverlaySemantics pins the Joint override path: Run overlays
+// cfg.Joint onto the derived defaults through core.MergeParams (the
+// package used to carry its own partial copy of the merge), so zero
+// override fields keep the defaults and non-zero fields win — including
+// fields the deleted local copy silently dropped, like LongLatency and
+// the DRPM speed ladder.
+func TestJointOverlaySemantics(t *testing.T) {
+	spec := disk.Barracuda()
+	base := core.DefaultParams(16*simtime.KB, simtime.MB, 128, spec, mem.RDRAM(simtime.MB))
+	base.Period = 300
+	base.LongLatency = 2
+
+	if got := core.MergeParams(base, core.Params{}); !reflect.DeepEqual(got, base) {
+		t.Errorf("zero overlay changed params:\n got %+v\nwant %+v", got, base)
+	}
+
+	lad := drpm.DeriveLevels(spec, 0, 4)
+	over := core.Params{
+		Window:                1200,
+		UtilCap:               0.4,
+		DelayCap:              0.002,
+		LongLatency:           5,
+		MinBanks:              3,
+		MaxCandidatesPerPass:  7,
+		HysteresisFrac:        0.1,
+		SpeedLevels:           lad.Levels,
+		SpeedTransitionPerRPM: lad.TransitionPerRPM,
+	}
+	got := core.MergeParams(base, over)
+	if got.Period != base.Period {
+		t.Errorf("Period = %v, want base %v (zero override must hold)", got.Period, base.Period)
+	}
+	if got.Window != over.Window || got.UtilCap != over.UtilCap ||
+		got.DelayCap != over.DelayCap || got.LongLatency != over.LongLatency ||
+		got.MinBanks != over.MinBanks || got.MaxCandidatesPerPass != over.MaxCandidatesPerPass ||
+		got.HysteresisFrac != over.HysteresisFrac {
+		t.Errorf("overlay dropped scalar overrides: %+v", got)
+	}
+	if !reflect.DeepEqual(got.SpeedLevels, lad.Levels) || got.SpeedTransitionPerRPM != lad.TransitionPerRPM {
+		t.Errorf("overlay dropped speed ladder: %+v", got)
 	}
 }

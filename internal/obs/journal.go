@@ -83,7 +83,12 @@ type CandidateSummary struct {
 	// OverBudget marks a candidate priced above the fleet coordinator's
 	// per-shard power budget; omitted (never true) on unbudgeted runs so
 	// existing golden traces stay byte-identical.
-	OverBudget bool   `json:"over_budget,omitempty"`
+	OverBudget bool `json:"over_budget,omitempty"`
+	// SpeedLevel is the DRPM ladder index the candidate was priced at.
+	// Deliberately NOT omitempty: the column is present-but-0 on
+	// single-speed runs so trace consumers see a stable schema (the
+	// golden traces were regenerated when it landed).
+	SpeedLevel int    `json:"speed_level"`
 	Reason     string `json:"reason,omitempty"`
 }
 

@@ -65,6 +65,7 @@ func (sh *Shard) fleetSummary(floorW float64) fleet.Summary {
 		DemandW:  floorW,
 		Banks:    last.Banks,
 		TimeoutS: float64(last.Timeout),
+		Level:    last.Level,
 		Energy:   sh.rec.Sum(),
 	}
 	if w := float64(last.Chosen.TotalPower); w > floorW {

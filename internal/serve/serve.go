@@ -24,6 +24,7 @@ import (
 
 	"jointpm/internal/core"
 	"jointpm/internal/disk"
+	"jointpm/internal/drpm"
 	"jointpm/internal/fault"
 	"jointpm/internal/fleet"
 	"jointpm/internal/mem"
@@ -44,6 +45,12 @@ type Config struct {
 	MemSpec       mem.Spec  // zero value means mem.RDRAM(BankSize)
 	// Joint overlays non-zero fields onto the derived core.DefaultParams.
 	Joint *core.Params
+
+	// SpeedLevels, when ≥ 2, derives a DRPM speed ladder of that many
+	// levels from DiskSpec and prices every candidate at every level, so
+	// decisions carry a speed level alongside (m, t_o). 0 or 1 leaves the
+	// slate single-speed and bit-identical to a build without the ladder.
+	SpeedLevels int
 
 	// Decide selects the manager's observation path: batch (the zero
 	// value) hands each closed period's depth log to core.Manager.Decide;
@@ -195,6 +202,11 @@ func New(cfg Config) (*Server, error) {
 	totalBanks := int(cfg.InstalledMem / cfg.BankSize)
 	p := core.DefaultParams(cfg.PageSize, cfg.BankSize, totalBanks, cfg.DiskSpec, cfg.MemSpec)
 	p.Period = cfg.Period
+	if cfg.SpeedLevels > 1 {
+		lad := drpm.DeriveLevels(cfg.DiskSpec, 0, cfg.SpeedLevels)
+		p.SpeedLevels = lad.Levels
+		p.SpeedTransitionPerRPM = lad.TransitionPerRPM
+	}
 	if cfg.Joint != nil {
 		p = core.MergeParams(p, *cfg.Joint)
 	}

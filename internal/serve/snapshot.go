@@ -52,7 +52,10 @@ const (
 	// warm restart under a global power cap resumes capped decisions
 	// bit-identically; older files decode it as 0 ("uncapped until the
 	// first reallocation epoch").
-	snapshotVersion    = 4
+	// Version 5 appends the manager's DRPM speed level, so a warm restart
+	// of a multi-speed daemon resumes at the level the last decision
+	// chose; older files decode it as 0 (full speed).
+	snapshotVersion    = 5
 	snapshotVersionMin = 1
 
 	// maxSnapshotShards bounds the shard count a reader will believe, so
@@ -195,6 +198,9 @@ func encodePayload(states []shardState, version byte) []byte {
 		}
 		if version >= 4 {
 			w.f64(st.BudgetW)
+		}
+		if version >= 5 {
+			w.uv(uint64(st.Core.Level))
 		}
 	}
 	return w.buf.Bytes()
@@ -400,6 +406,13 @@ func decodeShard(r *payloadReader, version byte) (shardState, error) {
 		if st.BudgetW, err = r.f64(); err != nil {
 			return st, err
 		}
+	}
+	if version >= 5 {
+		v, err := r.uv()
+		if err != nil {
+			return st, err
+		}
+		st.Core.Level = int(v) // pre-v5 files leave it 0: full speed
 	}
 	return st, nil
 }

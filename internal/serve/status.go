@@ -52,6 +52,10 @@ type ShardStatus struct {
 	// payloads are byte-identical to pre-fleet builds.
 	BudgetW float64 `json:"budget_w,omitempty"`
 	PowerW  float64 `json:"power_w,omitempty"`
+	// SpeedLevel is the DRPM ladder index the last decision chose (0:
+	// full speed). Omitted on single-speed daemons, whose status payloads
+	// stay byte-identical to pre-ladder builds.
+	SpeedLevel int `json:"speed_level,omitempty"`
 }
 
 // Status is the daemon-wide summary served on /debug/status and
@@ -62,13 +66,17 @@ type Status struct {
 	// RefsIngested and RefsPerSec aggregate the ingest pipeline across
 	// every shard: lifetime page references and their average rate over
 	// the daemon's uptime — the fleet-level throughput gauge.
-	RefsIngested int64          `json:"refs_ingested"`
-	RefsPerSec   float64        `json:"refs_per_sec"`
-	DecideMode   string         `json:"decide_mode"`
-	PeriodS      float64        `json:"period_s"`
-	FlightDepth  int            `json:"flight_depth"` // 0: recorders disabled
-	Shards       []ShardStatus  `json:"shards"`
-	Counters     []obs.NamedInt `json:"counters,omitempty"`
+	RefsIngested int64   `json:"refs_ingested"`
+	RefsPerSec   float64 `json:"refs_per_sec"`
+	DecideMode   string  `json:"decide_mode"`
+	PeriodS      float64 `json:"period_s"`
+	FlightDepth  int     `json:"flight_depth"` // 0: recorders disabled
+	// SpeedLevels is the DRPM ladder size every shard prices against;
+	// omitted (0) on single-speed daemons. jointpmctl keys its SPEED
+	// column on it.
+	SpeedLevels int            `json:"speed_levels,omitempty"`
+	Shards      []ShardStatus  `json:"shards"`
+	Counters    []obs.NamedInt `json:"counters,omitempty"`
 }
 
 // status snapshots one shard's summary.
@@ -87,6 +95,9 @@ func (sh *Shard) status() ShardStatus {
 	if sh.srv.coord != nil {
 		st.BudgetW = sh.budgetW
 		st.PowerW = float64(last.Chosen.TotalPower)
+	}
+	if len(sh.srv.params.SpeedLevels) > 1 {
+		st.SpeedLevel = last.Level
 	}
 	sh.mu.Unlock()
 	if ring := sh.ring.Load(); ring != nil {
@@ -122,6 +133,9 @@ func (s *Server) Status() Status {
 		PeriodS:     float64(s.cfg.Period),
 		FlightDepth: s.flightDepth,
 		Shards:      []ShardStatus{},
+	}
+	if n := len(s.params.SpeedLevels); n > 1 {
+		st.SpeedLevels = n
 	}
 	if at := s.lagAt.Load(); at != 0 {
 		st.StreamLagS = (time.Duration(s.lagNs.Load()) + time.Since(time.Unix(0, at))).Seconds()

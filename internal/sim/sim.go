@@ -14,6 +14,7 @@ import (
 	"jointpm/internal/cache"
 	"jointpm/internal/core"
 	"jointpm/internal/disk"
+	"jointpm/internal/drpm"
 	"jointpm/internal/lrusim"
 	"jointpm/internal/mem"
 	"jointpm/internal/obs"
@@ -63,6 +64,15 @@ type Config struct {
 	// without a full slate search (core.DefaultRefitDriftFrac is the
 	// recommended value). Zero re-evaluates the full slate every period.
 	RefitDriftFrac float64
+
+	// SpeedLevels, when ≥ 2, gives the joint method a DRPM speed ladder:
+	// drpm.DeriveLevels builds that many levels from the disk spec, the
+	// slate prices every candidate at every level, and the engine applies
+	// the chosen level to the disk model at each boundary. 0 or 1 keeps
+	// the single-speed drive and is bit-identical to a build without the
+	// speed dimension. Incompatible with Zoned (the zoned service model
+	// has no per-level mechanics).
+	SpeedLevels int
 
 	// Zoned, when set, replaces the flat service model with the zoned
 	// disk: media rate varies by platter zone and seek time by head
@@ -147,6 +157,9 @@ func (c *Config) withDefaults() (Config, error) {
 	}
 	if cfg.Method.MemBytes > cfg.InstalledMem {
 		return cfg, fmt.Errorf("sim: method memory %v exceeds installed %v", cfg.Method.MemBytes, cfg.InstalledMem)
+	}
+	if cfg.SpeedLevels > 1 && cfg.Zoned != nil {
+		return cfg, fmt.Errorf("sim: speed levels unsupported with zoned disk")
 	}
 	return cfg, nil
 }
@@ -342,6 +355,14 @@ func newEngine(cfg Config) (*engine, error) {
 		p := core.DefaultParams(ps, cfg.BankSize, totalBanks, cfg.DiskSpec, cfg.MemSpec)
 		p.Period = cfg.Period
 		p.LongLatency = cfg.LongLatency
+		if cfg.SpeedLevels > 1 {
+			// Speed slate: one ladder shared by the pricing (manager) and
+			// the mechanics/energy (disk model).
+			lad := drpm.DeriveLevels(cfg.DiskSpec, 0, cfg.SpeedLevels)
+			p.SpeedLevels = lad.Levels
+			p.SpeedTransitionPerRPM = lad.TransitionPerRPM
+			e.disk.SetSpeedLevels(lad.Levels, lad.TransitionPerRPM)
+		}
 		if cfg.Joint != nil {
 			p = mergeJointParams(p, *cfg.Joint)
 		}
@@ -610,6 +631,7 @@ func (e *engine) closePeriod(t simtime.Seconds) {
 		}
 		e.obsm.resizeEvicted.Add(e.cache.Resize(pages))
 		e.disk.SetTimeout(t, dec.Timeout)
+		e.disk.SetSpeedLevel(t, dec.Level) // no-op without a ladder
 		e.curBanks = achieved
 		stat.Banks = achieved
 		stat.Timeout = dec.Timeout

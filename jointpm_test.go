@@ -162,7 +162,7 @@ func TestFacadeHelpers(t *testing.T) {
 	if len(ms) != 10 { // 2 disks × (2 FM + PD + DS) + joint + always-on
 		t.Errorf("comparison set = %d", len(ms))
 	}
-	if len(ExperimentIDs()) != 13 {
+	if len(ExperimentIDs()) != 14 {
 		t.Errorf("experiments = %d", len(ExperimentIDs()))
 	}
 	if _, err := ExperimentByID("fig7"); err != nil {
